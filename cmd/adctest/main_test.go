@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAdctestHealthy(t *testing.T) {
+	var out, diag bytes.Buffer
+	if err := run([]string{"-bits", "8", "-nhist", "131072", "-ndyn", "4096", "-csv"}, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	d := diag.String()
+	if !strings.Contains(d, "worst DNL") || !strings.Contains(d, "ENOB") {
+		t.Errorf("diagnostics missing:\n%s", d)
+	}
+	if !strings.HasPrefix(out.String(), "code,inl_lsb") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestAdctestInjectedNL(t *testing.T) {
+	var out, diag bytes.Buffer
+	if err := run([]string{"-bits", "8", "-inl", "bow", "-peak", "2", "-nhist", "131072", "-ndyn", "4096"}, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bits", "8", "-inl", "random", "-peak", "0.5", "-nhist", "131072", "-ndyn", "4096"}, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdctestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-inl", "nope"}, &buf, &buf); err == nil {
+		t.Error("unknown INL kind must fail")
+	}
+	if err := run([]string{"-bits", "40", "-inl", "bow"}, &buf, &buf); err == nil {
+		t.Error("absurd bits must fail")
+	}
+	if err := run([]string{"-bogus"}, &buf, &buf); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

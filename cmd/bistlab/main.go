@@ -1,0 +1,181 @@
+// Command bistlab regenerates every table and figure of the paper's
+// evaluation (DATE 2014, "A flexible BIST strategy for SDR transmitters").
+//
+// Usage:
+//
+//	bistlab <experiment> [flags]
+//
+// Experiments:
+//
+//	fig3a   PBS alias-free wedges, normalised (paper Fig. 3a)
+//	fig3b   feasible subsampling rates for fH = 2.03 GHz, B = 30 MHz (Fig. 3b)
+//	fig5    cost function vs delay estimate (Fig. 5)
+//	fig6    LMS convergence from several starts (Fig. 6)
+//	table1  time-skew estimation comparison (Table I)
+//	eq4     reconstruction-error bound validation (Eq. 4/5)
+//	dsweep  kernel coefficient magnitude vs delay (Section II-B.1)
+//	mask    end-to-end spectral-mask BIST with fault injection
+//	flex    multistandard flexibility sweep (Section II-B)
+//	ablate  design-choice sweeps (taps, window, N, jitter) + minimiser duel
+//	noise   wideband-noise folding analysis (Section II-B.3)
+//	yield   Monte-Carlo production yield (in-spec vs marginal lot)
+//	avg     multi-capture averaging of the delay estimate
+//	loop    loopback fault-masking vs direct PNBS observation
+//	resp    reconstruction-filter frequency response vs length
+//	all     run everything above in sequence
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bistlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bistlab", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "capture/PSD size scale in (0, 1]: smaller is faster, noisier")
+	nPts := fs.Int("points", 0, "sweep point count (experiment-specific default when 0)")
+	jsonOut := fs.Bool("json", false, "emit the structured result as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bistlab <fig3a|fig3b|fig5|fig6|table1|eq4|dsweep|mask|flex|ablate|noise|yield|avg|loop|resp|all> [flags]")
+		fs.PrintDefaults()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing experiment name")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if name == "all" {
+		for _, n := range []string{"fig3a", "fig3b", "fig5", "fig6", "table1", "eq4", "dsweep", "mask", "flex", "ablate", "noise", "yield", "avg", "loop", "resp"} {
+			fmt.Printf("==== %s ====\n", n)
+			if err := runOne(n, *scale, *nPts, *jsonOut); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return runOne(name, *scale, *nPts, *jsonOut)
+}
+
+// renderer unifies text and JSON emission: every experiment result is an
+// exported struct with a Render method.
+type renderer interface{ Render(io.Writer) }
+
+func emit(v renderer, jsonOut bool) error {
+	if !jsonOut {
+		v.Render(os.Stdout)
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runOne(name string, scale float64, nPts int, jsonOut bool) error {
+	setup := experiments.DefaultPaperSetup()
+	switch name {
+	case "fig3a":
+		return emit(experiments.RunFig3a(3, nPts), jsonOut)
+	case "fig3b":
+		r, err := experiments.RunFig3b()
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "fig5":
+		r, err := experiments.RunFig5(setup, 0, 0, nPts, 0)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "fig6":
+		r, err := experiments.RunFig6(setup, nil, 0)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "table1":
+		r, err := experiments.RunTable1(setup, 0)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "eq4":
+		r, err := experiments.RunEq4(nil)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "dsweep":
+		r, err := experiments.RunDSweep(setup.BandB, 0, nPts)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "mask":
+		r, err := experiments.RunMaskBIST(scale)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "flex":
+		r, err := experiments.RunFlex(scale)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "ablate":
+		r, err := experiments.RunAblate()
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "noise":
+		r, err := experiments.RunNoiseFold(0.9e9, 1.9e9, 1e-4)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "yield":
+		r, err := experiments.RunYieldExperiment(nPts, scale)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "avg":
+		r, err := experiments.RunAveraging(nil)
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "loop":
+		r, err := experiments.RunLoopback()
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	case "resp":
+		r, err := experiments.RunFilterResp()
+		if err != nil {
+			return err
+		}
+		return emit(r, jsonOut)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunOneCheapExperiments(t *testing.T) {
+	for _, name := range []string{"fig3a", "fig3b", "eq4", "dsweep", "noise"} {
+		if err := runOne(name, 1, 0, false); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("nope", 1, 0, true); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestRunArgHandling(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing experiment must fail")
+	}
+	if err := run([]string{"fig3b"}); err != nil {
+		t.Errorf("fig3b: %v", err)
+	}
+	if err := run([]string{"fig3b", "-json"}); err != nil {
+		t.Errorf("fig3b -json: %v", err)
+	}
+	if err := run([]string{"fig3b", "-bogus"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "unit.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHealthyUnitJSON(t *testing.T) {
+	cfg := writeConfig(t, `{"scale": 0.35, "seed": 3}`)
+	var out bytes.Buffer
+	code, err := run([]string{"-config", cfg, "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("healthy unit exit code %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `"Pass": true`) {
+		t.Errorf("JSON output missing pass flag:\n%s", out.String())
+	}
+}
+
+func TestFaultyUnitExitCode(t *testing.T) {
+	cfg := writeConfig(t, `{"scale": 0.35, "fault": "pa-compression"}`)
+	var out bytes.Buffer
+	code, err := run([]string{"-config", cfg}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("faulty unit exit code %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Error("text output missing FAIL")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := run([]string{"-config", "/nonexistent.json"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing config must fail")
+	}
+	bad := writeConfig(t, `{not json`)
+	if _, err := run([]string{"-config", bad}, &bytes.Buffer{}); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	badMask := writeConfig(t, `{"mask": "nope"}`)
+	if _, err := run([]string{"-config", badMask}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown mask must fail")
+	}
+	badFault := writeConfig(t, `{"fault": "nope"}`)
+	if _, err := run([]string{"-config", badFault}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown fault must fail")
+	}
+	if _, err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}
+
+func TestCustomMaskAndEVM(t *testing.T) {
+	cfg := writeConfig(t, `{
+		"scale": 0.35,
+		"evmTest": true,
+		"customMask": {
+			"name": "my-mask",
+			"channelBwHz": 15e6,
+			"refBwHz": 100e3,
+			"points": [
+				{"offsetHz": 7.5e6, "limitDBc": -24},
+				{"offsetHz": 35e6, "limitDBc": -46}
+			]
+		}
+	}`)
+	var out bytes.Buffer
+	code, err := run([]string{"-config", cfg}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "my-mask") || !strings.Contains(out.String(), "EVM") {
+		t.Errorf("output missing custom mask / EVM:\n%s", out.String())
+	}
+}
+
+func TestCustomMaskInvalid(t *testing.T) {
+	cfg := writeConfig(t, `{"customMask": {"channelBwHz": 0, "refBwHz": 1, "points": []}}`)
+	if _, err := run([]string{"-config", cfg}, &bytes.Buffer{}); err == nil {
+		t.Error("invalid custom mask must fail")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTxsimCSVOutput(t *testing.T) {
+	var out, diag bytes.Buffer
+	err := run([]string{"-mod", "QPSK", "-npsd", "4096", "-evm"}, &out, &diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "freq_hz,psd_db") {
+		t.Error("CSV header missing")
+	}
+	if lines := strings.Count(out.String(), "\n"); lines < 100 {
+		t.Errorf("only %d CSV lines", lines)
+	}
+	if !strings.Contains(diag.String(), "EVM:") {
+		t.Errorf("EVM line missing: %s", diag.String())
+	}
+}
+
+func TestTxsimPAAndImpairments(t *testing.T) {
+	var out, diag bytes.Buffer
+	if err := run([]string{"-pa", "rapp", "-vsat", "0.8", "-iqphase", "5", "-npsd", "4096"}, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "rapp") || !strings.Contains(diag.String(), "IQ") {
+		t.Errorf("chain description wrong: %s", diag.String())
+	}
+	if err := run([]string{"-pa", "saleh", "-npsd", "4096"}, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxsimErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mod", "NOPE"}, &buf, &buf); err == nil {
+		t.Error("unknown constellation must fail")
+	}
+	if err := run([]string{"-pa", "nope"}, &buf, &buf); err == nil {
+		t.Error("unknown PA must fail")
+	}
+	if err := run([]string{"-alpha", "2"}, &buf, &buf); err == nil {
+		t.Error("bad roll-off must fail")
+	}
+	if err := run([]string{"-bogus"}, &buf, &buf); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a complete, stdlib-only Go reproduction of
+// "A flexible BIST strategy for SDR transmitters" (Dogaru, Vinci dos
+// Santos, Rebernak — DATE 2014): an RF built-in self-test for
+// software-defined-radio transmitters based on second-order periodically
+// nonuniform bandpass sampling (Kohlenberg) with blind LMS time-skew
+// identification.
+//
+// The root package carries the repository-level benchmark suite
+// (bench_test.go) and integration tests; the implementation lives under
+// internal/ — see DESIGN.md for the system inventory, EXPERIMENTS.md for
+// the paper-vs-measured results, and README.md for a guided tour.
+package repro

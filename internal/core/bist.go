@@ -1,0 +1,374 @@
+// Package core orchestrates the complete RF BIST strategy of the paper:
+// drive the transmitter with a multistandard test waveform, capture the PA
+// output with the nonuniform BP-TIADC built from the idle receiver ADCs,
+// identify the inter-channel delay with the LMS technique (Algorithm 1),
+// reconstruct the bandpass waveform (Kohlenberg interpolation) and verify
+// spectral-mask compliance plus modulator health (image rejection, LO
+// leakage). Fault injection and structured reports make it a production
+// test flow rather than a demo.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/mask"
+	"repro/internal/modem"
+	"repro/internal/pnbs"
+	"repro/internal/rf"
+	"repro/internal/sig"
+	"repro/internal/skew"
+	"repro/internal/tiadc"
+)
+
+// Config fully describes one BIST execution.
+type Config struct {
+	// Name optionally labels the configuration in reports and sweeps.
+	Name string
+
+	// --- Test waveform -------------------------------------------------
+	// Constellation names the modulation ("QPSK", "16QAM", ...).
+	Constellation string
+	// SymbolRate in symbols/s (paper: 10 MHz).
+	SymbolRate float64
+	// RollOff is the SRRC roll-off (paper: 0.5).
+	RollOff float64
+	// PulseSpan is the one-sided SRRC span in symbols (0 = 8).
+	PulseSpan int
+	// NumSymbols is the cyclic symbol-stream length (0 = 128).
+	NumSymbols int
+	// Seed drives symbol generation.
+	Seed int64
+	// BasebandPower is the mean |envelope|^2 driven into the chain
+	// (0 = 0.5).
+	BasebandPower float64
+	// Baseband, when non-nil, overrides the internally generated
+	// single-carrier waveform with a custom envelope (e.g. OFDM). The EVM
+	// sub-test is unavailable in this mode (no known symbol stream).
+	Baseband sig.Envelope
+
+	// --- Device under test ----------------------------------------------
+	// Fc is the carrier frequency (paper: 1 GHz).
+	Fc float64
+	// Tx configures impairments; Tx.Fc is overridden with Fc.
+	Tx rf.TxConfig
+
+	// --- Acquisition ----------------------------------------------------
+	// B is the per-channel capture rate and reconstruction bandwidth
+	// (paper: 90 MHz).
+	B float64
+	// NominalD is the DCDE setting (0 = optimal 1/(4 Fc)).
+	NominalD float64
+	// TI configures the BP-TIADC (channels, DCDE, clock jitter).
+	TI tiadc.Config
+	// CaptureLen is the per-channel sample count at rate B (0 = 2200).
+	CaptureLen int
+	// CaptureStart is the nominal first sampling instant.
+	CaptureStart float64
+	// CalibrateMismatch enables the background gain/offset calibration of
+	// the two channels before reconstruction (paper Section III / [16]).
+	CalibrateMismatch bool
+
+	// --- Delay estimation -------------------------------------------------
+	// HalfTaps is nw/2 for the reconstruction filter (0 = 30 -> 61 taps).
+	HalfTaps int
+	// KaiserBeta windows the reconstruction filter (0 = 8).
+	KaiserBeta float64
+	// NTimes is the cost-function sample count (0 = 300, the paper's N).
+	NTimes int
+	// TimesSeed seeds the random evaluation instants.
+	TimesSeed int64
+	// LMS configures Algorithm 1 (zero value = defaults).
+	LMS skew.LMSConfig
+	// D0 is the initial delay estimate (0 = NominalD).
+	D0 float64
+
+	// --- Measurements -----------------------------------------------------
+	// Mask, when non-nil, enables the spectral-mask test.
+	Mask *mask.Mask
+	// PSDLen is the number of envelope samples (at rate B) used for the
+	// Welch PSD (0 = 2048).
+	PSDLen int
+	// SegLen is the Welch segment length (0 = 512).
+	SegLen int
+	// IRRTest enables the single-sideband tone test measuring image
+	// rejection and LO leakage through the reconstruction path.
+	IRRTest bool
+	// MinIRRDB is the image-rejection pass threshold (0 = 30 dB).
+	MinIRRDB float64
+	// MaxLOLeakDBc is the LO-leakage pass threshold (0 = -30 dBc).
+	MaxLOLeakDBc float64
+	// MinChannelPower, when positive, requires at least this in-channel
+	// power (V^2) — catches dead-gain faults.
+	MinChannelPower float64
+	// EVMTest enables the modulation-quality sub-test through the
+	// reconstruction path.
+	EVMTest bool
+	// MaxEVMPercent is the EVM pass threshold (0 = 8 %).
+	MaxEVMPercent float64
+	// EVMSymbols is the demodulated symbol count (0 = 48).
+	EVMSymbols int
+	// ADCCheck enables the converter instrument pre-check.
+	ADCCheck bool
+	// MinADCSNDRdB is the per-channel SNDR floor for the pre-check
+	// (0 = 30 dB; the healthy ceiling is jitter-limited around 34 dB).
+	MinADCSNDRdB float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Constellation == "" {
+		c.Constellation = "QPSK"
+	}
+	if c.PulseSpan == 0 {
+		c.PulseSpan = 8
+	}
+	if c.NumSymbols == 0 {
+		c.NumSymbols = 128
+	}
+	if c.BasebandPower == 0 {
+		c.BasebandPower = 0.5
+	}
+	if c.NominalD == 0 {
+		c.NominalD = 1 / (4 * c.Fc)
+	}
+	if c.CaptureLen == 0 {
+		c.CaptureLen = 2200
+	}
+	if c.HalfTaps == 0 {
+		c.HalfTaps = 30
+	}
+	if c.KaiserBeta == 0 {
+		c.KaiserBeta = 8
+	}
+	if c.NTimes == 0 {
+		c.NTimes = 300
+	}
+	if c.D0 == 0 {
+		c.D0 = c.NominalD
+	}
+	if c.PSDLen == 0 {
+		c.PSDLen = 2048
+	}
+	if c.SegLen == 0 {
+		c.SegLen = 512
+	}
+	if c.MinIRRDB == 0 {
+		c.MinIRRDB = 30
+	}
+	if c.MaxLOLeakDBc == 0 {
+		c.MaxLOLeakDBc = -30
+	}
+	if c.MaxEVMPercent == 0 {
+		c.MaxEVMPercent = 8
+	}
+	if c.EVMSymbols == 0 {
+		c.EVMSymbols = 48
+	}
+	if c.MinADCSNDRdB == 0 {
+		c.MinADCSNDRdB = 30
+	}
+	// The PSD grid must fit inside the reconstruction's valid range
+	// (capture minus the filter half-support on each side).
+	if maxPSD := c.CaptureLen - 2*c.HalfTaps - 8; c.PSDLen > maxPSD {
+		c.PSDLen = maxPSD
+		if c.SegLen > c.PSDLen/2 {
+			c.SegLen = c.PSDLen / 2
+		}
+	}
+	return c
+}
+
+// BIST is a configured self-test engine.
+type BIST struct {
+	cfg  Config
+	band pnbs.Band
+	tx   *rf.Transmitter
+	ti   *tiadc.TIADC
+	bb   *modem.ShapedEnvelope
+}
+
+// New validates the configuration and assembles the test article and
+// instrumentation.
+func New(cfg Config) (*BIST, error) {
+	c := cfg.withDefaults()
+	if c.Fc <= 0 {
+		return nil, fmt.Errorf("core: carrier %g must be positive", c.Fc)
+	}
+	if c.SymbolRate <= 0 {
+		return nil, fmt.Errorf("core: symbol rate %g must be positive", c.SymbolRate)
+	}
+	if c.B <= 0 || c.B >= 2*c.Fc {
+		return nil, fmt.Errorf("core: capture rate %g implausible for fc %g", c.B, c.Fc)
+	}
+	occupied := c.SymbolRate * (1 + c.RollOff)
+	if occupied > c.B {
+		return nil, fmt.Errorf("core: occupied bandwidth %g exceeds capture bandwidth %g",
+			occupied, c.B)
+	}
+	band := pnbs.Band{FLow: c.Fc - c.B/2, B: c.B}
+	if err := skew.CheckUniqueness(band, skew.HalfRateBand(band)); err != nil {
+		return nil, fmt.Errorf("core: dual-rate configuration infeasible (pick B with frac(2fc/B) in (0, 0.5]): %w", err)
+	}
+	var bb *modem.ShapedEnvelope
+	var baseband sig.Envelope
+	if c.Baseband != nil {
+		if c.EVMTest {
+			return nil, fmt.Errorf("core: the EVM sub-test needs the internally generated waveform")
+		}
+		baseband = c.Baseband
+	} else {
+		cst, err := modem.ByName(c.Constellation)
+		if err != nil {
+			return nil, err
+		}
+		pulse, err := modem.NewSRRC(1/c.SymbolRate, c.RollOff, c.PulseSpan)
+		if err != nil {
+			return nil, err
+		}
+		syms := cst.RandomSymbols(c.NumSymbols, c.Seed)
+		bb, err = modem.NewShapedEnvelope(syms, pulse, true)
+		if err != nil {
+			return nil, err
+		}
+		bb.SetAvgPower(c.BasebandPower, 4096)
+		baseband = bb
+	}
+	txCfg := c.Tx
+	txCfg.Fc = c.Fc
+	tx, err := rf.NewTransmitter(txCfg, baseband)
+	if err != nil {
+		return nil, err
+	}
+	ti, err := tiadc.New(c.TI)
+	if err != nil {
+		return nil, err
+	}
+	return &BIST{cfg: c, band: band, tx: tx, ti: ti, bb: bb}, nil
+}
+
+// Baseband exposes the shaped test envelope (for EVM-style ground truth).
+func (b *BIST) Baseband() *modem.ShapedEnvelope { return b.bb }
+
+// Band returns the capture band.
+func (b *BIST) Band() pnbs.Band { return b.band }
+
+// Transmitter exposes the device under test (for ground-truth comparisons).
+func (b *BIST) Transmitter() *rf.Transmitter { return b.tx }
+
+// opt returns the reconstruction options.
+func (b *BIST) opt() pnbs.Options {
+	return pnbs.Options{HalfTaps: b.cfg.HalfTaps, KaiserBeta: b.cfg.KaiserBeta}
+}
+
+// acquire captures the Tx output at rates B and B/2 with the shared DCDE
+// setting and returns the two sample sets.
+func (b *BIST) acquire() (setB, setB1 skew.SampleSet, actualD float64, err error) {
+	c := b.cfg
+	out := b.tx.Output()
+	t := 1 / c.B
+	capB, err := b.ti.Capture(out, t, c.NominalD, c.CaptureStart, c.CaptureLen)
+	if err != nil {
+		return setB, setB1, 0, fmt.Errorf("core: rate-B capture: %w", err)
+	}
+	t1 := 2 * t
+	n1 := c.CaptureLen/2 + 2*c.HalfTaps + 4
+	t01 := c.CaptureStart - float64(2*c.HalfTaps)*t1/2
+	capB1, err := b.ti.Capture(out, t1, c.NominalD, t01, n1)
+	if err != nil {
+		return setB, setB1, 0, fmt.Errorf("core: rate-B/2 capture: %w", err)
+	}
+	if c.CalibrateMismatch {
+		if capB, err = calibrated(capB); err != nil {
+			return setB, setB1, 0, fmt.Errorf("core: rate-B calibration: %w", err)
+		}
+		if capB1, err = calibrated(capB1); err != nil {
+			return setB, setB1, 0, fmt.Errorf("core: rate-B/2 calibration: %w", err)
+		}
+	}
+	setB = skew.SampleSet{Band: b.band, T0: capB.T0, Ch0: capB.Ch0, Ch1: capB.Ch1}
+	setB1 = skew.SampleSet{Band: skew.HalfRateBand(b.band), T0: capB1.T0,
+		Ch0: capB1.Ch0, Ch1: capB1.Ch1}
+	return setB, setB1, capB.ActualD, nil
+}
+
+// calibrated runs the background gain/offset mismatch estimation and
+// correction on a capture.
+func calibrated(c *tiadc.Capture) (*tiadc.Capture, error) {
+	m, err := tiadc.EstimateMismatch(c)
+	if err != nil {
+		return nil, err
+	}
+	return m.Corrected(c)
+}
+
+// estimate runs Algorithm 1 on the acquired sets.
+func (b *BIST) estimate(setB, setB1 skew.SampleSet) (skew.LMSResult, *skew.CostEvaluator, error) {
+	lo, hi, err := skew.EvalWindow(setB, setB1, b.opt())
+	if err != nil {
+		return skew.LMSResult{}, nil, err
+	}
+	// Keep a guard band away from the window edges.
+	span := hi - lo
+	times := skew.RandomTimes(lo+0.05*span, hi-0.05*span, b.cfg.NTimes, b.cfg.TimesSeed)
+	ce, err := skew.NewCostEvaluator(setB, setB1, times, b.opt())
+	if err != nil {
+		return skew.LMSResult{}, nil, err
+	}
+	res, err := skew.Estimate(ce, b.cfg.D0, b.cfg.LMS)
+	if err != nil {
+		return skew.LMSResult{}, nil, err
+	}
+	return res, ce, nil
+}
+
+// envelopeGrid reconstructs the complex envelope on a uniform grid at rate
+// fsEnv = B: the bandpass reconstruction is evaluated oversampled, mixed to
+// baseband, lowpass filtered to kill the 2 fc image and decimated. The
+// oversampling factor is chosen so the -2 fc mixing image, after aliasing
+// at the oversampled rate, falls in the decimation filter's stopband — a
+// fixed factor can drop the image inside the band for unlucky carrier/rate
+// ratios (e.g. fc = 1.45 GHz with B = 90 MHz at 4x).
+func (b *BIST) envelopeGrid(r *pnbs.Reconstructor, n int) (env []complex128, fsEnv, t0 float64, err error) {
+	fsEnv = b.cfg.B
+	over := 0
+	for cand := 4; cand <= 12; cand++ {
+		cfsHi := fsEnv * float64(cand)
+		img := math.Mod(2*b.cfg.Fc, cfsHi)
+		if img > cfsHi/2 {
+			img = cfsHi - img
+		}
+		if img > 0.6*fsEnv {
+			over = cand
+			break
+		}
+	}
+	if over == 0 {
+		return nil, 0, 0, fmt.Errorf("core: no oversampling factor separates the 2fc image (fc %g, B %g)",
+			b.cfg.Fc, fsEnv)
+	}
+	fsHi := fsEnv * float64(over)
+	lo, hi := r.ValidRange()
+	need := float64(n*over) / fsHi
+	if hi-lo < need {
+		return nil, 0, 0, fmt.Errorf("core: capture too short for a %d-point PSD grid", n)
+	}
+	t0 = lo
+	ts := make([]float64, n*over)
+	for i := range ts {
+		ts[i] = t0 + float64(i)/fsHi
+	}
+	raw := r.Envelope(b.cfg.Fc, ts)
+	lp, err := dsp.DesignLowpass(91, 0.45/float64(over), dsp.KaiserWin, dsp.KaiserBeta(70))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return lp.Decimate(raw, over), fsEnv, t0, nil
+}
+
+// measurePSD produces the RF-referred Welch PSD from a reconstructed
+// envelope grid.
+func (b *BIST) measurePSD(env []complex128, fsEnv float64) (*dsp.Spectrum, error) {
+	cfg := dsp.DefaultWelch(b.cfg.SegLen)
+	return dsp.WelchComplex(env, fsEnv, b.cfg.Fc, cfg)
+}

@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+func TestChannelMismatchAbsorbedByCalibration(t *testing.T) {
+	c := fastScenario()
+	f, err := FaultByName("channel-mismatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Apply(&c)
+	b, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("calibrated channel mismatch caused a false alarm:\n%s", rep.Summary())
+	}
+	if rep.ReconRelErr > 0.05 {
+		t.Errorf("reconstruction error %.3g with calibration", rep.ReconRelErr)
+	}
+}
+
+func TestChannelMismatchHurtsWithoutCalibration(t *testing.T) {
+	// Same mismatch, calibration disabled: the reconstruction degrades
+	// measurably (gain mismatch acts like multiplicative noise on half the
+	// sample set).
+	mk := func(calibrate bool) float64 {
+		c := fastScenario()
+		f, _ := FaultByName("channel-mismatch")
+		f.Apply(&c)
+		c.CalibrateMismatch = calibrate
+		b, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ReconRelErr
+	}
+	with := mk(true)
+	without := mk(false)
+	if without < 1.5*with {
+		t.Errorf("calibration gain not visible: %.3g with vs %.3g without", with, without)
+	}
+}
+
+func TestCalibrationHarmlessOnHealthyUnit(t *testing.T) {
+	c := fastScenario()
+	c.CalibrateMismatch = true
+	b, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("calibration broke a healthy unit:\n%s", rep.Summary())
+	}
+}

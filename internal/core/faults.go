@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adc"
+	"repro/internal/rf"
+)
+
+// Fault is one injectable manufacturing defect for escape analysis. Apply
+// mutates a healthy configuration into the faulty one.
+type Fault struct {
+	// Name identifies the fault in reports.
+	Name string
+	// Description explains the physical defect and its expected signature.
+	Description string
+	// ShouldFail indicates whether a correct BIST must reject the unit.
+	ShouldFail bool
+	// Apply injects the fault.
+	Apply func(c *Config)
+}
+
+// Catalog returns the built-in fault library. Faults marked ShouldFail are
+// specification violations; the remainder are benign process variations the
+// BIST must tolerate (no false alarms) — notably the DCDE bias, which is
+// exactly the unknown the LMS technique exists to absorb.
+func Catalog() []Fault {
+	return []Fault{
+		{
+			Name:        "pa-compression",
+			Description: "PA driven deep into compression: spectral regrowth violates the mask shoulders",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				// Saturation at ~the signal RMS: heavy clipping.
+				pa, err := rf.NewRappPA(1, 0.55, 2)
+				if err != nil {
+					panic(fmt.Sprintf("core: fault catalog: %v", err))
+				}
+				c.Tx.PA = pa
+				c.BasebandPower = 1.0
+			},
+		},
+		{
+			Name:        "iq-imbalance",
+			Description: "severe quadrature error (2 dB / 12 deg): image rejection collapses",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				c.Tx.IQ = rf.FromImbalanceDB(2, 12, 0)
+				c.IRRTest = true
+			},
+		},
+		{
+			Name:        "lo-leakage",
+			Description: "carrier feedthrough at -18 dBc: LO leakage limit violated",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				c.Tx.IQ = rf.FromImbalanceDB(0, 0, complex(0.09, 0))
+				c.IRRTest = true
+			},
+		},
+		{
+			Name:        "dead-gain",
+			Description: "PA gain collapsed by 20 dB: output power floor violated",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				c.Tx.PA = &rf.LinearPA{Gain: 0.1}
+				c.MinChannelPower = 0.05
+			},
+		},
+		{
+			Name:        "adc-inl",
+			Description: "receiver ADC channel 1 with gross ladder mismatch (1 LSB rms DNL random walk): instrument pre-check fails",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				nl, err := adc.NewRandomNL(10, 1.0, 91)
+				if err != nil {
+					panic(fmt.Sprintf("core: fault catalog: %v", err))
+				}
+				c.TI.Ch1.NL = nl
+				c.ADCCheck = true
+			},
+		},
+		{
+			Name:        "lo-phase-noise",
+			Description: "degraded LO with heavy close-in phase noise: modulation quality (EVM) collapses",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				pn, err := rf.NewPhaseNoise(
+					[]float64{1e4, 1e5, 1e6, 1e7},
+					[]float64{-48, -55, -75, -100}, 256, 17)
+				if err != nil {
+					panic(fmt.Sprintf("core: fault catalog: %v", err))
+				}
+				c.Tx.PhaseNoise = pn
+				c.EVMTest = true
+			},
+		},
+		{
+			Name:        "channel-mismatch",
+			Description: "ADC channel gain/offset mismatch (0.7 dB, 30 mV): benign once background calibration runs",
+			ShouldFail:  false,
+			Apply: func(c *Config) {
+				c.TI.Ch0.Gain = 1.04
+				c.TI.Ch0.Offset = 0.03
+				c.TI.Ch1.Gain = 0.96
+				c.TI.Ch1.Offset = -0.03
+				c.CalibrateMismatch = true
+			},
+		},
+		{
+			Name:        "dcde-bias",
+			Description: "DCDE static bias of +35 ps: benign, absorbed by LMS delay identification",
+			ShouldFail:  false,
+			Apply: func(c *Config) {
+				c.TI.DCDE.Bias = 35e-12
+			},
+		},
+		{
+			Name:        "mild-iq",
+			Description: "mild quadrature error (0.2 dB / 1 deg): within spec, must pass",
+			ShouldFail:  false,
+			Apply: func(c *Config) {
+				c.Tx.IQ = rf.FromImbalanceDB(0.2, 1, 0)
+				c.IRRTest = true
+			},
+		},
+	}
+}
+
+// FaultByName looks up a catalogue entry.
+func FaultByName(name string) (Fault, error) {
+	for _, f := range Catalog() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Fault{}, fmt.Errorf("core: unknown fault %q", name)
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/dsp"
+	"repro/internal/rf"
+)
+
+// ProcessSpread describes lot-level manufacturing variation: each simulated
+// unit draws its impairments from these (Gaussian) distributions. Zero
+// values disable the corresponding variation.
+type ProcessSpread struct {
+	// IQGainSigmaDB is the sigma of the IQ gain imbalance in dB.
+	IQGainSigmaDB float64
+	// IQPhaseSigmaDeg is the sigma of the quadrature error in degrees.
+	IQPhaseSigmaDeg float64
+	// LOLeakSigma is the sigma of the carrier feedthrough amplitude.
+	LOLeakSigma float64
+	// PAGainSigmaDB is the sigma of the PA small-signal gain in dB.
+	PAGainSigmaDB float64
+	// DCDEBiasSigma is the sigma of the DCDE static bias in seconds.
+	DCDEBiasSigma float64
+	// ChannelGainSigmaDB is the per-ADC-channel gain-error sigma in dB.
+	ChannelGainSigmaDB float64
+	// ChannelOffsetSigma is the per-channel offset sigma in volts.
+	ChannelOffsetSigma float64
+}
+
+// TypicalSpread returns a credible in-spec production population.
+func TypicalSpread() ProcessSpread {
+	return ProcessSpread{
+		IQGainSigmaDB:      0.1,
+		IQPhaseSigmaDeg:    0.5,
+		LOLeakSigma:        0.005,
+		PAGainSigmaDB:      0.3,
+		DCDEBiasSigma:      5e-12,
+		ChannelGainSigmaDB: 0.1,
+		ChannelOffsetSigma: 0.005,
+	}
+}
+
+// UnitResult records one simulated unit's outcome.
+type UnitResult struct {
+	Unit   int
+	Pass   bool
+	SkewPS float64
+	// WorstMarginDB is the mask margin (when a mask ran).
+	WorstMarginDB float64
+}
+
+// YieldReport aggregates a Monte-Carlo production run.
+type YieldReport struct {
+	Units  []UnitResult
+	Passes int
+	// Yield is Passes / len(Units).
+	Yield float64
+	// WorstSkewPS and WorstMarginDB summarise the tails.
+	WorstSkewPS   float64
+	WorstMarginDB float64
+}
+
+// RunYield simulates nUnits devices drawn from the spread through the full
+// BIST and reports the yield. The base configuration supplies everything
+// not varied (waveform, rates, thresholds); calibration is enabled so
+// benign channel mismatch does not eat yield.
+func RunYield(base Config, spread ProcessSpread, nUnits int, seed int64) (*YieldReport, error) {
+	if nUnits < 1 {
+		return nil, fmt.Errorf("core: yield run needs at least one unit")
+	}
+	// Impairment draws stay on a single stream so results are independent
+	// of worker scheduling; the (deterministic) BIST runs fan out across
+	// the CPUs.
+	rng := rand.New(rand.NewSource(seed))
+	cfgs := make([]Config, nUnits)
+	for u := 0; u < nUnits; u++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(u)
+		cfg.TimesSeed = base.TimesSeed + int64(u)
+		cfg.TI.Seed = base.TI.Seed + int64(u)*17
+		cfg.TI.Ch0.Seed = base.TI.Ch0.Seed + int64(u)*31
+		cfg.TI.Ch1.Seed = base.TI.Ch1.Seed + int64(u)*37
+		cfg.CalibrateMismatch = true
+		gainDB := spread.IQGainSigmaDB * rng.NormFloat64()
+		phaseDeg := spread.IQPhaseSigmaDeg * rng.NormFloat64()
+		leak := complex(spread.LOLeakSigma*rng.NormFloat64(), spread.LOLeakSigma*rng.NormFloat64())
+		if gainDB != 0 || phaseDeg != 0 || leak != 0 {
+			cfg.Tx.IQ = rf.FromImbalanceDB(gainDB, phaseDeg, leak)
+		}
+		if spread.PAGainSigmaDB > 0 {
+			g := dsp.FromAmplitudeDB(spread.PAGainSigmaDB * rng.NormFloat64())
+			cfg.Tx.PA = &rf.LinearPA{Gain: complex(g, 0)}
+		}
+		cfg.TI.DCDE.Bias = spread.DCDEBiasSigma * rng.NormFloat64()
+		cfg.TI.Ch0.Gain = dsp.FromAmplitudeDB(spread.ChannelGainSigmaDB * rng.NormFloat64())
+		cfg.TI.Ch1.Gain = dsp.FromAmplitudeDB(spread.ChannelGainSigmaDB * rng.NormFloat64())
+		cfg.TI.Ch0.Offset = spread.ChannelOffsetSigma * rng.NormFloat64()
+		cfg.TI.Ch1.Offset = spread.ChannelOffsetSigma * rng.NormFloat64()
+		cfgs[u] = cfg
+	}
+	units := make([]UnitResult, nUnits)
+	errs := make([]error, nUnits)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for u := 0; u < nUnits; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b, err := New(cfgs[u])
+			if err != nil {
+				errs[u] = fmt.Errorf("core: yield unit %d: %w", u, err)
+				return
+			}
+			r, err := b.Run()
+			if err != nil {
+				errs[u] = fmt.Errorf("core: yield unit %d: %w", u, err)
+				return
+			}
+			ur := UnitResult{Unit: u, Pass: r.Pass, SkewPS: r.SkewErrPS()}
+			if r.Mask != nil {
+				ur.WorstMarginDB = r.Mask.WorstMarginDB
+			}
+			units[u] = ur
+		}(u)
+	}
+	wg.Wait()
+	rep := &YieldReport{WorstMarginDB: 1e9}
+	for u := 0; u < nUnits; u++ {
+		if errs[u] != nil {
+			return nil, errs[u]
+		}
+		ur := units[u]
+		if ur.WorstMarginDB != 0 && ur.WorstMarginDB < rep.WorstMarginDB {
+			rep.WorstMarginDB = ur.WorstMarginDB
+		}
+		if ur.SkewPS > rep.WorstSkewPS {
+			rep.WorstSkewPS = ur.SkewPS
+		}
+		if ur.Pass {
+			rep.Passes++
+		}
+		rep.Units = append(rep.Units, ur)
+	}
+	rep.Yield = float64(rep.Passes) / float64(nUnits)
+	return rep, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import "testing"
+
+func TestYieldInSpecPopulation(t *testing.T) {
+	base := fastScenario()
+	base.IRRTest = true
+	rep, err := RunYield(base, TypicalSpread(), 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Units) != 8 || rep.Passes != 8 || rep.Yield != 1 {
+		t.Fatalf("in-spec yield %.2f (%d/%d)", rep.Yield, rep.Passes, len(rep.Units))
+	}
+	if rep.WorstSkewPS > 20 {
+		t.Errorf("worst skew %.2f ps across the lot", rep.WorstSkewPS)
+	}
+	if rep.WorstMarginDB < 0 {
+		t.Errorf("worst mask margin %.2f dB", rep.WorstMarginDB)
+	}
+}
+
+func TestYieldDetectsOutOfSpecTail(t *testing.T) {
+	// Blow up the IQ spread so a good fraction of units violate the IRR
+	// limit: yield must drop below 1.
+	base := fastScenario()
+	base.IRRTest = true
+	spread := TypicalSpread()
+	// ~30 dB IRR corresponds to ~2.3 deg of quadrature error: a 2.5 deg
+	// sigma puts a substantial fraction of units on each side of the limit.
+	spread.IQPhaseSigmaDeg = 2.5
+	spread.IQGainSigmaDB = 0.4
+	rep, err := RunYield(base, spread, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Yield >= 1 {
+		t.Fatalf("out-of-spec population yielded 100%% (worst margin %.1f dB)", rep.WorstMarginDB)
+	}
+	if rep.Passes == 0 {
+		t.Error("population should not be entirely dead either")
+	}
+}
+
+func TestYieldValidation(t *testing.T) {
+	if _, err := RunYield(fastScenario(), TypicalSpread(), 0, 1); err == nil {
+		t.Error("zero units must fail")
+	}
+}
+
+func TestYieldDeterministic(t *testing.T) {
+	base := fastScenario()
+	a, err := RunYield(base, TypicalSpread(), 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunYield(base, TypicalSpread(), 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Units {
+		if a.Units[i].SkewPS != b.Units[i].SkewPS {
+			t.Fatal("yield run not reproducible")
+		}
+	}
+}

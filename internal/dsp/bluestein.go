@@ -1,0 +1,55 @@
+package dsp
+
+import "math"
+
+// bluestein computes the DFT (or un-normalised inverse DFT) of a for
+// arbitrary length using the chirp-z transform: the length-N DFT is expressed
+// as a convolution, which is evaluated with power-of-two FFTs.
+func bluestein(a []complex128, inverse bool) []complex128 {
+	n := len(a)
+	if n < 2 {
+		out := make([]complex128, n)
+		copy(out, a)
+		return out
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign * i * pi * k^2 / n). k^2 mod 2n keeps the phase
+	// argument bounded so accuracy does not degrade for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		phi := sign * math.Pi * float64(kk) / float64(n)
+		s, c := math.Sincos(phi)
+		chirp[k] = complex(c, s)
+	}
+	m := NextPowerOfTwo(2*n - 1)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		fa[k] = a[k] * chirp[k]
+	}
+	// Kernel b[k] = conj(chirp[|k|]) arranged circularly.
+	fb[0] = conj(chirp[0])
+	for k := 1; k < n; k++ {
+		v := conj(chirp[k])
+		fb[k] = v
+		fb[m-k] = v
+	}
+	fftRadix2(fa, false)
+	fftRadix2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	fftRadix2(fa, true)
+	out := make([]complex128, n)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		out[k] = fa[k] * scale * chirp[k]
+	}
+	return out
+}
+
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }

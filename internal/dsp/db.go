@@ -1,0 +1,35 @@
+package dsp
+
+import "math"
+
+// PowerDB converts a power ratio to decibels (10 log10), clamped at -400 dB
+// for non-positive inputs so log-domain plots stay finite.
+func PowerDB(p float64) float64 {
+	if p <= 0 {
+		return -400
+	}
+	return 10 * math.Log10(p)
+}
+
+// AmplitudeDB converts an amplitude ratio to decibels (20 log10), with the
+// same clamping as PowerDB.
+func AmplitudeDB(a float64) float64 {
+	if a <= 0 {
+		return -400
+	}
+	return 20 * math.Log10(a)
+}
+
+// FromPowerDB converts decibels to a power ratio.
+func FromPowerDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// FromAmplitudeDB converts decibels to an amplitude ratio.
+func FromAmplitudeDB(db float64) float64 { return math.Pow(10, db/20) }
+
+// DBm converts a power in watts (50-ohm convention handled by caller) to dBm.
+func DBm(watts float64) float64 {
+	if watts <= 0 {
+		return -400
+	}
+	return 10*math.Log10(watts) + 30
+}

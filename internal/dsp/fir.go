@@ -1,0 +1,135 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite impulse response filter described by its tap vector.
+type FIR struct {
+	Taps []float64
+}
+
+// DesignLowpass designs a linear-phase lowpass FIR by the windowed-sinc
+// method. cutoff is the -6 dB edge in cycles/sample (0 < cutoff < 0.5),
+// numTaps must be >= 1. The window type and Kaiser beta follow Window.
+func DesignLowpass(numTaps int, cutoff float64, w WindowType, beta float64) (*FIR, error) {
+	if numTaps < 1 {
+		return nil, fmt.Errorf("dsp: DesignLowpass: numTaps %d < 1", numTaps)
+	}
+	if cutoff <= 0 || cutoff >= 0.5 {
+		return nil, fmt.Errorf("dsp: DesignLowpass: cutoff %g outside (0, 0.5)", cutoff)
+	}
+	win := Window(w, numTaps, beta)
+	taps := make([]float64, numTaps)
+	mid := float64(numTaps-1) / 2
+	for i := range taps {
+		taps[i] = 2 * cutoff * Sinc(2*cutoff*(float64(i)-mid)) * win[i]
+	}
+	f := &FIR{Taps: taps}
+	f.normalizeDC()
+	return f, nil
+}
+
+// DesignBandpass designs a linear-phase bandpass FIR with -6 dB edges f1 < f2
+// (cycles/sample) by spectral subtraction of two windowed-sinc lowpasses.
+func DesignBandpass(numTaps int, f1, f2 float64, w WindowType, beta float64) (*FIR, error) {
+	if numTaps < 1 {
+		return nil, fmt.Errorf("dsp: DesignBandpass: numTaps %d < 1", numTaps)
+	}
+	if !(0 < f1 && f1 < f2 && f2 < 0.5) {
+		return nil, fmt.Errorf("dsp: DesignBandpass: need 0 < f1 < f2 < 0.5, got %g, %g", f1, f2)
+	}
+	win := Window(w, numTaps, beta)
+	taps := make([]float64, numTaps)
+	mid := float64(numTaps-1) / 2
+	for i := range taps {
+		d := float64(i) - mid
+		taps[i] = (2*f2*Sinc(2*f2*d) - 2*f1*Sinc(2*f1*d)) * win[i]
+	}
+	return &FIR{Taps: taps}, nil
+}
+
+// normalizeDC scales the taps for unity gain at DC.
+func (f *FIR) normalizeDC() {
+	s := 0.0
+	for _, t := range f.Taps {
+		s += t
+	}
+	if s == 0 {
+		return
+	}
+	for i := range f.Taps {
+		f.Taps[i] /= s
+	}
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.Taps) }
+
+// GroupDelay returns the group delay in samples of the (linear-phase) filter.
+func (f *FIR) GroupDelay() float64 { return float64(len(f.Taps)-1) / 2 }
+
+// Filter convolves x with the filter and returns the "same"-length output,
+// aligned so that out[n] corresponds to x[n] delayed by the group delay.
+func (f *FIR) Filter(x []float64) []float64 {
+	full := Convolve(x, f.Taps)
+	d := (len(f.Taps) - 1) / 2
+	out := make([]float64, len(x))
+	copy(out, full[d:d+len(x)])
+	return out
+}
+
+// FilterComplex applies the real-tap filter independently to the real and
+// imaginary parts of x ("same" alignment as Filter).
+func (f *FIR) FilterComplex(x []complex128) []complex128 {
+	re := make([]float64, len(x))
+	im := make([]float64, len(x))
+	for i, v := range x {
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+	fr := f.Filter(re)
+	fi := f.Filter(im)
+	out := make([]complex128, len(x))
+	for i := range out {
+		out[i] = complex(fr[i], fi[i])
+	}
+	return out
+}
+
+// Response evaluates the filter's complex frequency response at the
+// normalised frequency nu (cycles/sample).
+func (f *FIR) Response(nu float64) complex128 {
+	var acc complex128
+	for n, h := range f.Taps {
+		phi := -2 * math.Pi * nu * float64(n)
+		s, c := math.Sincos(phi)
+		acc += complex(h*c, h*s)
+	}
+	return acc
+}
+
+// MagnitudeDB returns the magnitude response in dB at nu, clamped at -400 dB.
+func (f *FIR) MagnitudeDB(nu float64) float64 {
+	m := f.Response(nu)
+	mag := math.Hypot(real(m), imag(m))
+	if mag < 1e-20 {
+		return -400
+	}
+	return 20 * math.Log10(mag)
+}
+
+// Decimate lowpass-filters x and keeps every factor-th sample. The filter
+// must already be designed with an appropriate cutoff (< 0.5/factor).
+func (f *FIR) Decimate(x []complex128, factor int) []complex128 {
+	if factor < 1 {
+		panic("dsp: Decimate factor must be >= 1")
+	}
+	y := f.FilterComplex(x)
+	out := make([]complex128, 0, len(y)/factor+1)
+	for i := 0; i < len(y); i += factor {
+		out = append(out, y[i])
+	}
+	return out
+}

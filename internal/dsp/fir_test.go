@@ -1,0 +1,150 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDesignLowpassResponse(t *testing.T) {
+	f, err := DesignLowpass(101, 0.1, KaiserWin, KaiserBeta(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unity at DC.
+	if g := cabs(f.Response(0)); math.Abs(g-1) > 1e-9 {
+		t.Errorf("DC gain = %g", g)
+	}
+	// Passband flat within 1 dB.
+	for _, nu := range []float64{0.01, 0.05, 0.08} {
+		if db := f.MagnitudeDB(nu); db < -1 || db > 1 {
+			t.Errorf("passband %g: %g dB", nu, db)
+		}
+	}
+	// Stopband below -50 dB past the transition.
+	for _, nu := range []float64{0.16, 0.2, 0.3, 0.45} {
+		if db := f.MagnitudeDB(nu); db > -50 {
+			t.Errorf("stopband %g: %g dB", nu, db)
+		}
+	}
+	// -6 dB point near the cutoff.
+	if db := f.MagnitudeDB(0.1); math.Abs(db-(-6)) > 1.5 {
+		t.Errorf("cutoff attenuation %g dB, want ~ -6", db)
+	}
+}
+
+func TestDesignLowpassErrors(t *testing.T) {
+	if _, err := DesignLowpass(0, 0.1, Hann, 0); err == nil {
+		t.Error("numTaps 0 should fail")
+	}
+	if _, err := DesignLowpass(11, 0.6, Hann, 0); err == nil {
+		t.Error("cutoff >= 0.5 should fail")
+	}
+	if _, err := DesignLowpass(11, 0, Hann, 0); err == nil {
+		t.Error("cutoff 0 should fail")
+	}
+}
+
+func TestDesignBandpassResponse(t *testing.T) {
+	f, err := DesignBandpass(201, 0.15, 0.25, KaiserWin, KaiserBeta(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db := f.MagnitudeDB(0.2); math.Abs(db) > 1 {
+		t.Errorf("mid-band gain %g dB", db)
+	}
+	for _, nu := range []float64{0.02, 0.08, 0.33, 0.45} {
+		if db := f.MagnitudeDB(nu); db > -50 {
+			t.Errorf("bandpass stopband %g: %g dB", nu, db)
+		}
+	}
+	if _, err := DesignBandpass(11, 0.3, 0.2, Hann, 0); err == nil {
+		t.Error("inverted edges should fail")
+	}
+	if _, err := DesignBandpass(0, 0.1, 0.2, Hann, 0); err == nil {
+		t.Error("zero taps should fail")
+	}
+}
+
+func TestFIRFilterDelayAlignment(t *testing.T) {
+	// A filtered sinusoid well inside the passband should come out nearly
+	// unchanged (same phase) thanks to the group-delay compensation.
+	f, err := DesignLowpass(101, 0.2, KaiserWin, KaiserBeta(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 0.05 * float64(i))
+	}
+	y := f.Filter(x)
+	if len(y) != n {
+		t.Fatalf("output length %d != %d", len(y), n)
+	}
+	// Compare away from the edges.
+	worst := 0.0
+	for i := 100; i < n-100; i++ {
+		if d := math.Abs(y[i] - x[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-3 {
+		t.Errorf("aligned passband error %g", worst)
+	}
+}
+
+func TestFIRFilterComplexMatchesParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f, _ := DesignLowpass(31, 0.2, Hann, 0)
+	n := 200
+	x := make([]complex128, n)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range x {
+		re[i], im[i] = rng.NormFloat64(), rng.NormFloat64()
+		x[i] = complex(re[i], im[i])
+	}
+	y := f.FilterComplex(x)
+	yr, yi := f.Filter(re), f.Filter(im)
+	for i := range y {
+		if math.Abs(real(y[i])-yr[i]) > 1e-12 || math.Abs(imag(y[i])-yi[i]) > 1e-12 {
+			t.Fatalf("complex filter mismatch at %d", i)
+		}
+	}
+}
+
+func TestFIRDecimate(t *testing.T) {
+	f, _ := DesignLowpass(63, 0.1, KaiserWin, KaiserBeta(60))
+	x := make([]complex128, 400)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*0.02*float64(i)), 0)
+	}
+	y := f.Decimate(x, 4)
+	if len(y) != 100 {
+		t.Fatalf("decimated length %d, want 100", len(y))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("factor 0 should panic")
+		}
+	}()
+	f.Decimate(x, 0)
+}
+
+func TestFIRGroupDelay(t *testing.T) {
+	f := &FIR{Taps: make([]float64, 61)}
+	if gd := f.GroupDelay(); gd != 30 {
+		t.Errorf("group delay %g, want 30", gd)
+	}
+	if f.Len() != 61 {
+		t.Errorf("Len %d", f.Len())
+	}
+}
+
+func TestMagnitudeDBClamp(t *testing.T) {
+	f := &FIR{Taps: []float64{0}}
+	if db := f.MagnitudeDB(0.1); db != -400 {
+		t.Errorf("zero filter magnitude %g, want clamp at -400", db)
+	}
+}

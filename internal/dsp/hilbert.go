@@ -1,0 +1,62 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// HilbertFIR designs an odd-length linear-phase FIR Hilbert transformer
+// (type III): h[n] = 2/(pi n) for odd n, 0 for even n, Kaiser-windowed.
+// Combined with a matching delay it yields the analytic signal
+// x[n] + i xh[n] of a real record — the discrete cousin of sig.Downconvert.
+func HilbertFIR(numTaps int, beta float64) (*FIR, error) {
+	if numTaps < 7 {
+		return nil, fmt.Errorf("dsp: Hilbert transformer needs >= 7 taps, got %d", numTaps)
+	}
+	if numTaps%2 == 0 {
+		return nil, fmt.Errorf("dsp: Hilbert transformer needs an odd tap count, got %d", numTaps)
+	}
+	if beta == 0 {
+		beta = 8
+	}
+	win := Kaiser(numTaps, beta)
+	taps := make([]float64, numTaps)
+	mid := numTaps / 2
+	for i := range taps {
+		n := i - mid
+		if n%2 != 0 {
+			taps[i] = 2 / (math.Pi * float64(n)) * win[i]
+		}
+	}
+	return &FIR{Taps: taps}, nil
+}
+
+// AnalyticSignal returns the analytic signal of a real record using a
+// HilbertFIR of the given length: out[n] = x[n] + i H{x}[n], both branches
+// delay-aligned. Edge regions (half the filter length) are less accurate.
+func AnalyticSignal(x []float64, numTaps int) ([]complex128, error) {
+	h, err := HilbertFIR(numTaps, 0)
+	if err != nil {
+		return nil, err
+	}
+	q := h.Filter(x)
+	out := make([]complex128, len(x))
+	for i := range x {
+		out[i] = complex(x[i], q[i])
+	}
+	return out, nil
+}
+
+// InstantaneousFrequency estimates f[n] (cycles/sample) from an analytic
+// signal by phase differencing.
+func InstantaneousFrequency(z []complex128) []float64 {
+	if len(z) < 2 {
+		return nil
+	}
+	out := make([]float64, len(z)-1)
+	for i := 1; i < len(z); i++ {
+		c := z[i] * complex(real(z[i-1]), -imag(z[i-1]))
+		out[i-1] = math.Atan2(imag(c), real(c)) / (2 * math.Pi)
+	}
+	return out
+}

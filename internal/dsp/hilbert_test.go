@@ -1,0 +1,119 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHilbertFIRValidation(t *testing.T) {
+	if _, err := HilbertFIR(5, 0); err == nil {
+		t.Error("too short must fail")
+	}
+	if _, err := HilbertFIR(64, 0); err == nil {
+		t.Error("even length must fail")
+	}
+}
+
+func TestAnalyticSignalOfTone(t *testing.T) {
+	// The analytic signal of cos is exp(i...): unit magnitude, rotating.
+	n := 1024
+	nu := 0.07
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * nu * float64(i))
+	}
+	z, err := AnalyticSignal(x, 129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 200; i < n-200; i++ {
+		if d := math.Abs(cabs(z[i]) - 1); d > 0.01 {
+			t.Fatalf("analytic magnitude off by %g at %d", d, i)
+		}
+	}
+	fi := InstantaneousFrequency(z[200 : n-200])
+	for i, f := range fi {
+		if math.Abs(f-nu) > 1e-3 {
+			t.Fatalf("inst freq %g at %d, want %g", f, i, nu)
+		}
+	}
+}
+
+func TestInstantaneousFrequencyOfChirpRecord(t *testing.T) {
+	// Digital chirp: frequency ramps 0.02 -> 0.2 cycles/sample.
+	n := 4096
+	x := make([]float64, n)
+	phase := 0.0
+	for i := range x {
+		f := 0.02 + (0.2-0.02)*float64(i)/float64(n)
+		phase += 2 * math.Pi * f
+		x[i] = math.Cos(phase)
+	}
+	z, err := AnalyticSignal(x, 129)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := InstantaneousFrequency(z)
+	// Mid-record estimate close to the mid frequency.
+	mid := fi[n/2]
+	want := 0.02 + (0.2-0.02)*0.5
+	if math.Abs(mid-want) > 0.01 {
+		t.Errorf("mid frequency %g, want %g", mid, want)
+	}
+	if InstantaneousFrequency(z[:1]) != nil {
+		t.Error("short input convention")
+	}
+}
+
+func TestPAPRAnalysis(t *testing.T) {
+	// Constant envelope: PAPR = 0 dB.
+	n := 4096
+	cw := make([]complex128, n)
+	for i := range cw {
+		s, c := math.Sincos(0.1 * float64(i))
+		cw[i] = complex(c, s)
+	}
+	r, err := PAPR(cw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.PAPRdB) > 0.01 {
+		t.Errorf("CW PAPR %g dB", r.PAPRdB)
+	}
+	for _, v := range r.CCDFdB {
+		if math.Abs(v) > 0.01 {
+			t.Errorf("CW CCDF %g dB", v)
+		}
+	}
+	// Two equal tones: peak power 4x average of one... PAPR = 3 dB.
+	two := make([]complex128, n)
+	// Beat frequency commensurate with the record so the average power is
+	// exactly 2 and the peak (amplitude 2) is hit.
+	delta := 2 * math.Pi * 2 / float64(n)
+	for i := range two {
+		s1, c1 := math.Sincos(0.1 * float64(i))
+		s2, c2 := math.Sincos((0.1 + delta) * float64(i))
+		two[i] = complex(c1+c2, s1+s2) // amplitude beats between 0 and 2
+	}
+	r2, err := PAPR(two, []float64{1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.PAPRdB-3) > 0.3 {
+		t.Errorf("two-tone PAPR %g dB, want ~3", r2.PAPRdB)
+	}
+}
+
+func TestPAPRValidation(t *testing.T) {
+	if _, err := PAPR(make([]complex128, 4), nil); err == nil {
+		t.Error("too short must fail")
+	}
+	if _, err := PAPR(make([]complex128, 64), nil); err == nil {
+		t.Error("zero record must fail")
+	}
+	x := make([]complex128, 64)
+	x[0] = 1
+	if _, err := PAPR(x, []float64{2}); err == nil {
+		t.Error("bad probability must fail")
+	}
+}

@@ -1,0 +1,111 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Biquad is one second-order IIR section in direct form II transposed:
+//
+//	y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+	z1, z2     float64
+}
+
+// Process filters one sample.
+func (q *Biquad) Process(x float64) float64 {
+	y := q.B0*x + q.z1
+	q.z1 = q.B1*x - q.A1*y + q.z2
+	q.z2 = q.B2*x - q.A2*y
+	return y
+}
+
+// Reset clears the section state.
+func (q *Biquad) Reset() { q.z1, q.z2 = 0, 0 }
+
+// IIR is a cascade of biquad sections — here used as discrete-time
+// Butterworth filters for stream post-processing of captured records.
+type IIR struct {
+	Sections []Biquad
+}
+
+// NewButterworthLowpass designs an order-n Butterworth lowpass with -3 dB
+// cutoff at the normalised frequency fc (cycles/sample, 0 < fc < 0.5) via
+// the bilinear transform with frequency pre-warping. Odd orders are rounded
+// up to the next even order (pure biquad cascade).
+func NewButterworthLowpass(order int, fc float64) (*IIR, error) {
+	if order < 1 || order > 16 {
+		return nil, fmt.Errorf("dsp: Butterworth order %d outside [1, 16]", order)
+	}
+	if fc <= 0 || fc >= 0.5 {
+		return nil, fmt.Errorf("dsp: Butterworth cutoff %g outside (0, 0.5)", fc)
+	}
+	if order%2 == 1 {
+		order++
+	}
+	// Analog prototype poles on the unit circle, pre-warped cutoff.
+	warped := math.Tan(math.Pi * fc)
+	sections := make([]Biquad, 0, order/2)
+	for k := 0; k < order/2; k++ {
+		theta := math.Pi * (2*float64(k) + 1) / (2 * float64(order))
+		// Analog pole pair: s = -sin(theta) +- i cos(theta), scaled by the
+		// warped cutoff. Bilinear transform s = (1 - z^-1)/(1 + z^-1).
+		re := -math.Sin(theta) * warped
+		im := math.Cos(theta) * warped
+		p := complex(re, im)
+		// H(s) = w^2 / (s^2 - 2 re s + |p|^2); bilinear:
+		pp := real(p)*real(p) + imag(p)*imag(p)
+		a0 := 1 - 2*real(p) + pp
+		b := Biquad{
+			B0: warped * warped / a0,
+			B1: 2 * warped * warped / a0,
+			B2: warped * warped / a0,
+			A1: (2*pp - 2) / a0,
+			A2: (1 + 2*real(p) + pp) / a0,
+		}
+		sections = append(sections, b)
+	}
+	return &IIR{Sections: sections}, nil
+}
+
+// Reset clears all section states.
+func (f *IIR) Reset() {
+	for i := range f.Sections {
+		f.Sections[i].Reset()
+	}
+}
+
+// Filter processes a whole record (state persists across calls; Reset to
+// start fresh).
+func (f *IIR) Filter(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		y := v
+		for s := range f.Sections {
+			y = f.Sections[s].Process(y)
+		}
+		out[i] = y
+	}
+	return out
+}
+
+// Response evaluates the cascade's complex frequency response at the
+// normalised frequency nu.
+func (f *IIR) Response(nu float64) complex128 {
+	z := cmplx.Exp(complex(0, -2*math.Pi*nu))
+	h := complex(1, 0)
+	for _, s := range f.Sections {
+		num := complex(s.B0, 0) + complex(s.B1, 0)*z + complex(s.B2, 0)*z*z
+		den := complex(1, 0) + complex(s.A1, 0)*z + complex(s.A2, 0)*z*z
+		h *= num / den
+	}
+	return h
+}
+
+// MagnitudeDB returns the magnitude response in dB at nu.
+func (f *IIR) MagnitudeDB(nu float64) float64 {
+	return AmplitudeDB(cmplx.Abs(f.Response(nu)))
+}

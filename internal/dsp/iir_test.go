@@ -1,0 +1,93 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestButterworthValidation(t *testing.T) {
+	if _, err := NewButterworthLowpass(0, 0.1); err == nil {
+		t.Error("order 0 must fail")
+	}
+	if _, err := NewButterworthLowpass(20, 0.1); err == nil {
+		t.Error("order 20 must fail")
+	}
+	if _, err := NewButterworthLowpass(4, 0); err == nil {
+		t.Error("fc 0 must fail")
+	}
+	if _, err := NewButterworthLowpass(4, 0.5); err == nil {
+		t.Error("fc 0.5 must fail")
+	}
+	// Odd order rounds up.
+	f, err := NewButterworthLowpass(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Sections) != 2 {
+		t.Errorf("%d sections for order 3->4", len(f.Sections))
+	}
+}
+
+func TestButterworthResponseShape(t *testing.T) {
+	f, err := NewButterworthLowpass(4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC gain 1.
+	if db := f.MagnitudeDB(0); math.Abs(db) > 0.01 {
+		t.Errorf("DC gain %g dB", db)
+	}
+	// -3 dB at the cutoff.
+	if db := f.MagnitudeDB(0.1); math.Abs(db-(-3.01)) > 0.2 {
+		t.Errorf("cutoff gain %g dB, want -3", db)
+	}
+	// Monotone (maximally flat) magnitude.
+	prev := 1.0
+	for nu := 0.005; nu < 0.5; nu += 0.005 {
+		m := math.Abs(real(f.Response(nu))) + math.Abs(imag(f.Response(nu)))
+		_ = m
+		mag := cabs(f.Response(nu))
+		if mag > prev+1e-9 {
+			t.Fatalf("non-monotone magnitude at %g", nu)
+		}
+		prev = mag
+	}
+	// ~ -24 dB/octave for order 4: an octave above cutoff.
+	if db := f.MagnitudeDB(0.2); db > -20 {
+		t.Errorf("octave-above attenuation %g dB", db)
+	}
+}
+
+func TestButterworthTimeDomain(t *testing.T) {
+	f, _ := NewButterworthLowpass(4, 0.05)
+	n := 2048
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = math.Sin(2*math.Pi*0.01*float64(i)) + math.Sin(2*math.Pi*0.3*float64(i))
+	}
+	out := f.Filter(in)
+	// The 0.3 component must be crushed; the 0.01 component survives.
+	lowP := cabs(DTFT(out[500:], 0.01))
+	highP := cabs(DTFT(out[500:], 0.3))
+	if highP > lowP/100 {
+		t.Errorf("stopband leakage: low %g vs high %g", lowP, highP)
+	}
+	// Reset clears state.
+	f.Reset()
+	y1 := f.Filter([]float64{1})
+	f.Reset()
+	y2 := f.Filter([]float64{1})
+	if y1[0] != y2[0] {
+		t.Error("Reset does not restore initial state")
+	}
+}
+
+func TestBiquadDirectFormIdentity(t *testing.T) {
+	// A pass-through biquad.
+	q := Biquad{B0: 1}
+	for i, v := range []float64{1, -2, 3.5} {
+		if got := q.Process(v); got != v {
+			t.Fatalf("sample %d: %g != %g", i, got, v)
+		}
+	}
+}

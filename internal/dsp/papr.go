@@ -1,0 +1,63 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PAPRResult summarises a peak-to-average power analysis of a complex
+// envelope — the quantity that decides how far a PA must be backed off.
+type PAPRResult struct {
+	// AvgPower is E[|x|^2]; PeakPower the maximum instantaneous power.
+	AvgPower, PeakPower float64
+	// PAPRdB is the peak-to-average ratio in dB.
+	PAPRdB float64
+	// CCDFdB[i] is the power level (dB above average) exceeded with
+	// probability CCDFProb[i].
+	CCDFdB   []float64
+	CCDFProb []float64
+}
+
+// PAPR analyses a complex envelope record. probs selects the CCDF points
+// (nil = {1e-1, 1e-2, 1e-3}).
+func PAPR(x []complex128, probs []float64) (*PAPRResult, error) {
+	if len(x) < 16 {
+		return nil, fmt.Errorf("dsp: PAPR needs >= 16 samples, got %d", len(x))
+	}
+	if probs == nil {
+		probs = []float64{1e-1, 1e-2, 1e-3}
+	}
+	pw := make([]float64, len(x))
+	var avg, peak float64
+	for i, v := range x {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		pw[i] = p
+		avg += p
+		if p > peak {
+			peak = p
+		}
+	}
+	avg /= float64(len(x))
+	if avg <= 0 {
+		return nil, fmt.Errorf("dsp: PAPR of a zero record")
+	}
+	sort.Float64s(pw)
+	res := &PAPRResult{
+		AvgPower:  avg,
+		PeakPower: peak,
+		PAPRdB:    10 * math.Log10(peak/avg),
+	}
+	for _, p := range probs {
+		if p <= 0 || p >= 1 {
+			return nil, fmt.Errorf("dsp: CCDF probability %g outside (0, 1)", p)
+		}
+		idx := int(float64(len(pw)) * (1 - p))
+		if idx >= len(pw) {
+			idx = len(pw) - 1
+		}
+		res.CCDFProb = append(res.CCDFProb, p)
+		res.CCDFdB = append(res.CCDFdB, 10*math.Log10(pw[idx]/avg))
+	}
+	return res, nil
+}

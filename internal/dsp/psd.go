@@ -1,0 +1,153 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spectrum is a one- or two-sided power spectral density estimate.
+type Spectrum struct {
+	// Freqs holds the frequency of each bin in Hz (monotonically increasing
+	// for shifted two-sided spectra).
+	Freqs []float64
+	// PSD holds the power spectral density in V^2/Hz (assuming the input is
+	// in volts at the given sample rate).
+	PSD []float64
+	// BinWidth is the frequency resolution in Hz.
+	BinWidth float64
+}
+
+// Len returns the number of bins.
+func (s *Spectrum) Len() int { return len(s.Freqs) }
+
+// PowerInBand integrates the PSD between f1 and f2 (Hz) and returns the band
+// power in V^2. Bins whose centre lies in [f1, f2] contribute fully.
+func (s *Spectrum) PowerInBand(f1, f2 float64) float64 {
+	if f1 > f2 {
+		f1, f2 = f2, f1
+	}
+	p := 0.0
+	for i, f := range s.Freqs {
+		if f >= f1 && f <= f2 {
+			p += s.PSD[i] * s.BinWidth
+		}
+	}
+	return p
+}
+
+// TotalPower integrates the whole PSD.
+func (s *Spectrum) TotalPower() float64 {
+	p := 0.0
+	for _, v := range s.PSD {
+		p += v * s.BinWidth
+	}
+	return p
+}
+
+// PSDdB returns the PSD in dB (10log10), clamped at -400 dB, re 1 V^2/Hz.
+func (s *Spectrum) PSDdB() []float64 {
+	out := make([]float64, len(s.PSD))
+	for i, v := range s.PSD {
+		out[i] = PowerDB(v)
+	}
+	return out
+}
+
+// PeakBin returns the index and frequency of the largest PSD bin.
+func (s *Spectrum) PeakBin() (idx int, freq float64) {
+	best := math.Inf(-1)
+	for i, v := range s.PSD {
+		if v > best {
+			best = v
+			idx = i
+		}
+	}
+	if len(s.Freqs) > 0 {
+		freq = s.Freqs[idx]
+	}
+	return idx, freq
+}
+
+// WelchConfig configures Welch's averaged-periodogram PSD estimator.
+type WelchConfig struct {
+	// SegmentLen is the per-segment FFT length (power of two recommended).
+	SegmentLen int
+	// Overlap is the number of samples shared by consecutive segments
+	// (typically SegmentLen/2).
+	Overlap int
+	// Win selects the taper; Beta is the Kaiser parameter when Win is
+	// KaiserWin.
+	Win  WindowType
+	Beta float64
+}
+
+// DefaultWelch returns a sensible configuration: Hann window, 50 % overlap.
+func DefaultWelch(segmentLen int) WelchConfig {
+	return WelchConfig{SegmentLen: segmentLen, Overlap: segmentLen / 2, Win: Hann}
+}
+
+// WelchComplex estimates the two-sided PSD of a complex baseband sequence
+// sampled at fs. centre shifts the frequency axis (pass the carrier to plot
+// an RF-referred spectrum). The result is fftshifted so frequencies ascend.
+func WelchComplex(x []complex128, fs, centre float64, cfg WelchConfig) (*Spectrum, error) {
+	n := cfg.SegmentLen
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: Welch: SegmentLen %d <= 0", n)
+	}
+	if len(x) < n {
+		return nil, fmt.Errorf("dsp: Welch: input length %d < segment %d", len(x), n)
+	}
+	if cfg.Overlap < 0 || cfg.Overlap >= n {
+		return nil, fmt.Errorf("dsp: Welch: overlap %d outside [0, %d)", cfg.Overlap, n)
+	}
+	win := Window(cfg.Win, n, cfg.Beta)
+	var winPow float64
+	for _, w := range win {
+		winPow += w * w
+	}
+	step := n - cfg.Overlap
+	acc := make([]float64, n)
+	segs := 0
+	buf := make([]complex128, n)
+	for start := 0; start+n <= len(x); start += step {
+		for i := 0; i < n; i++ {
+			buf[i] = x[start+i] * complex(win[i], 0)
+		}
+		spec := FFT(buf)
+		for i, v := range spec {
+			re, im := real(v), imag(v)
+			acc[i] += re*re + im*im
+		}
+		segs++
+	}
+	if segs == 0 {
+		return nil, fmt.Errorf("dsp: Welch: no complete segments")
+	}
+	// PSD normalisation: |X|^2 / (fs * sum(w^2)), averaged over segments.
+	norm := 1 / (fs * winPow * float64(segs))
+	psd := make([]float64, n)
+	for i := range acc {
+		psd[i] = acc[i] * norm
+	}
+	psd = FFTShiftFloat(psd)
+	freqs := make([]float64, n)
+	df := fs / float64(n)
+	for i := range freqs {
+		freqs[i] = centre + (float64(i)-float64(n)/2)*df
+	}
+	return &Spectrum{Freqs: freqs, PSD: psd, BinWidth: df}, nil
+}
+
+// WelchReal estimates the two-sided PSD of a real sequence sampled at fs.
+func WelchReal(x []float64, fs float64, cfg WelchConfig) (*Spectrum, error) {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return WelchComplex(c, fs, 0, cfg)
+}
+
+// Periodogram is the single-segment special case of Welch.
+func Periodogram(x []complex128, fs, centre float64, win WindowType, beta float64) (*Spectrum, error) {
+	return WelchComplex(x, fs, centre, WelchConfig{SegmentLen: len(x), Win: win, Beta: beta})
+}

@@ -1,0 +1,178 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchToneAndNoiseFloor(t *testing.T) {
+	// Complex tone of amplitude A at f0 in white noise: the PSD peak should
+	// integrate to ~A^2 and the floor should match sigma^2/fs.
+	rng := rand.New(rand.NewSource(10))
+	fs := 1e6
+	f0 := 125e3
+	amp := 1.0
+	sigma := 0.01
+	n := 1 << 16
+	x := make([]complex128, n)
+	for i := range x {
+		phi := 2 * math.Pi * f0 * float64(i) / fs
+		s, c := math.Sincos(phi)
+		x[i] = complex(amp*c+sigma*rng.NormFloat64(), amp*s+sigma*rng.NormFloat64())
+	}
+	spec, err := WelchComplex(x, fs, 0, DefaultWelch(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fpk := spec.PeakBin()
+	if math.Abs(fpk-f0) > 2*spec.BinWidth {
+		t.Errorf("peak at %g Hz, want %g", fpk, f0)
+	}
+	// Tone power: integrate +-5 bins around the peak.
+	p := spec.PowerInBand(f0-5*spec.BinWidth, f0+5*spec.BinWidth)
+	if math.Abs(p-amp*amp) > 0.05*amp*amp {
+		t.Errorf("tone power %g, want ~%g", p, amp*amp)
+	}
+	// Noise floor far from the tone: PSD ~ 2*sigma^2/fs (complex noise has
+	// sigma^2 per real dimension).
+	floor := spec.PowerInBand(-400e3, -300e3) / 100e3
+	want := 2 * sigma * sigma / fs
+	if floor < want/3 || floor > want*3 {
+		t.Errorf("noise floor %g, want ~%g", floor, want)
+	}
+	// Total power should approximate tone + noise power.
+	tot := spec.TotalPower()
+	if math.Abs(tot-(amp*amp+2*sigma*sigma)) > 0.1*amp*amp {
+		t.Errorf("total power %g", tot)
+	}
+}
+
+func TestWelchRealTone(t *testing.T) {
+	fs := 1e4
+	f0 := 1e3
+	n := 8192
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2 * math.Cos(2*math.Pi*f0*float64(i)/fs)
+	}
+	spec, err := WelchReal(x, fs, DefaultWelch(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real tone of amplitude 2: power 2, split between +-f0 (1 each).
+	pp := spec.PowerInBand(f0-50, f0+50)
+	pn := spec.PowerInBand(-f0-50, -f0+50)
+	if math.Abs(pp-1) > 0.05 || math.Abs(pn-1) > 0.05 {
+		t.Errorf("split powers %g, %g, want 1, 1", pp, pn)
+	}
+}
+
+func TestWelchErrors(t *testing.T) {
+	x := make([]complex128, 100)
+	if _, err := WelchComplex(x, 1, 0, WelchConfig{SegmentLen: 0}); err == nil {
+		t.Error("segment 0 should fail")
+	}
+	if _, err := WelchComplex(x, 1, 0, WelchConfig{SegmentLen: 200}); err == nil {
+		t.Error("segment > input should fail")
+	}
+	if _, err := WelchComplex(x, 1, 0, WelchConfig{SegmentLen: 50, Overlap: 50}); err == nil {
+		t.Error("overlap == segment should fail")
+	}
+	if _, err := WelchComplex(x, 1, 0, WelchConfig{SegmentLen: 50, Overlap: -1}); err == nil {
+		t.Error("negative overlap should fail")
+	}
+}
+
+func TestPeriodogramCentreShift(t *testing.T) {
+	n := 1024
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(1, 0) // DC only
+	}
+	spec, err := Periodogram(x, 1e6, 2e9, Hann, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fpk := spec.PeakBin()
+	if math.Abs(fpk-2e9) > spec.BinWidth {
+		t.Errorf("centre-shifted DC peak at %g, want 2e9", fpk)
+	}
+}
+
+func TestSpectrumHelpers(t *testing.T) {
+	s := &Spectrum{
+		Freqs:    []float64{-1, 0, 1},
+		PSD:      []float64{0, 2, 1},
+		BinWidth: 1,
+	}
+	if s.Len() != 3 {
+		t.Error("Len")
+	}
+	if p := s.PowerInBand(1, -1); p != 3 { // swapped bounds
+		t.Errorf("PowerInBand swapped = %g", p)
+	}
+	db := s.PSDdB()
+	if db[0] != -400 {
+		t.Error("zero PSD should clamp at -400 dB")
+	}
+	if math.Abs(db[1]-10*math.Log10(2)) > 1e-12 {
+		t.Error("PSDdB value")
+	}
+}
+
+func TestDBHelpers(t *testing.T) {
+	if PowerDB(100) != 20 || AmplitudeDB(10) != 20 {
+		t.Error("dB conversions")
+	}
+	if PowerDB(0) != -400 || AmplitudeDB(-1) != -400 {
+		t.Error("clamping")
+	}
+	if math.Abs(FromPowerDB(3)-1.9952623149688795) > 1e-12 {
+		t.Error("FromPowerDB")
+	}
+	if math.Abs(FromAmplitudeDB(6)-1.9952623149688795) > 1e-12 {
+		t.Error("FromAmplitudeDB")
+	}
+	if math.Abs(DBm(1)-30) > 1e-12 || DBm(0) != -400 {
+		t.Error("DBm")
+	}
+}
+
+func TestGoertzelMatchesDTFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 333)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for _, nu := range []float64{0, 0.01, 0.123456, 0.25, 0.49} {
+		g := Goertzel(x, nu)
+		d := DTFT(x, nu)
+		if cabs(g-d) > 1e-7*float64(len(x)) {
+			t.Errorf("nu=%g: Goertzel %v vs DTFT %v", nu, g, d)
+		}
+	}
+	if Goertzel(nil, 0.1) != 0 {
+		t.Error("empty Goertzel should be 0")
+	}
+}
+
+func TestTonePhasorRecoversAmplitudeAndPhase(t *testing.T) {
+	n := 1000
+	nu := 0.123
+	amp, phase := 1.7, 0.6
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = amp * math.Cos(2*math.Pi*nu*float64(i)+phase)
+	}
+	p := TonePhasor(x, nu, Window(Hann, n, 0))
+	if math.Abs(cabs(p)-amp) > 1e-3 {
+		t.Errorf("amplitude %g, want %g", cabs(p), amp)
+	}
+	if d := math.Abs(math.Atan2(imag(p), real(p)) - phase); d > 1e-3 {
+		t.Errorf("phase error %g", d)
+	}
+	if TonePhasor(nil, 0.1, nil) != 0 {
+		t.Error("empty input")
+	}
+}

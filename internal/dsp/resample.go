@@ -1,0 +1,178 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resampler converts a uniformly sampled sequence by the rational factor
+// L/M (upsample by L, anti-alias filter, downsample by M) using a polyphase
+// windowed-sinc kernel. It serves the rate conversions between the modem,
+// capture and analysis domains.
+type Resampler struct {
+	L, M int
+	// taps holds the prototype lowpass at the upsampled rate.
+	taps []float64
+}
+
+// NewResampler designs a rational resampler. tapsPerPhase controls kernel
+// quality (0 = 12); attenDB the stopband attenuation (0 = 70 dB).
+func NewResampler(l, m, tapsPerPhase int, attenDB float64) (*Resampler, error) {
+	if l < 1 || m < 1 {
+		return nil, fmt.Errorf("dsp: resampler needs positive L/M, got %d/%d", l, m)
+	}
+	g := gcd(l, m)
+	l, m = l/g, m/g
+	if tapsPerPhase <= 0 {
+		tapsPerPhase = 12
+	}
+	if attenDB <= 0 {
+		attenDB = 70
+	}
+	// Prototype cutoff at min(1/L, 1/M)/2 of the upsampled rate.
+	cutoff := 0.5 / float64(maxI(l, m))
+	n := tapsPerPhase*l | 1
+	beta := KaiserBeta(attenDB)
+	win := Kaiser(n, beta)
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	for i := range taps {
+		taps[i] = 2 * cutoff * Sinc(2*cutoff*(float64(i)-mid)) * win[i]
+	}
+	// Normalise for unity DC gain after the x L interpolation.
+	s := 0.0
+	for _, t := range taps {
+		s += t
+	}
+	if s != 0 {
+		scale := float64(l) / s
+		for i := range taps {
+			taps[i] *= scale
+		}
+	}
+	return &Resampler{L: l, M: m, taps: taps}, nil
+}
+
+// OutLen returns the output length for an input of length n.
+func (r *Resampler) OutLen(n int) int {
+	return (n*r.L + r.M - 1) / r.M
+}
+
+// Apply resamples x. The output is time-aligned with the input (the
+// prototype's group delay is compensated).
+func (r *Resampler) Apply(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	outLen := r.OutLen(len(x))
+	out := make([]float64, outLen)
+	delay := (len(r.taps) - 1) / 2
+	for j := 0; j < outLen; j++ {
+		// Output sample j sits at upsampled index j*M; the kernel is
+		// centred there after delay compensation.
+		up := j*r.M + delay
+		// x contributes at upsampled indices i*L.
+		acc := 0.0
+		// taps index k = up - i*L must lie in [0, len(taps)).
+		iMin := (up - (len(r.taps) - 1) + r.L - 1) / r.L
+		if iMin < 0 {
+			iMin = 0
+		}
+		iMax := up / r.L
+		if iMax >= len(x) {
+			iMax = len(x) - 1
+		}
+		for i := iMin; i <= iMax; i++ {
+			k := up - i*r.L
+			acc += x[i] * r.taps[k]
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// ApplyComplex resamples a complex sequence.
+func (r *Resampler) ApplyComplex(x []complex128) []complex128 {
+	re := make([]float64, len(x))
+	im := make([]float64, len(x))
+	for i, v := range x {
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+	or := r.Apply(re)
+	oi := r.Apply(im)
+	out := make([]complex128, len(or))
+	for i := range out {
+		out[i] = complex(or[i], oi[i])
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CrossCorrelate returns the biased cross-correlation
+// r[k] = sum_n a[n] b[n-k] / N for lags k in [-maxLag, maxLag], along with
+// the lag axis. It underlies coarse delay estimation between channels.
+func CrossCorrelate(a, b []float64, maxLag int) (lags []int, r []float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, nil, fmt.Errorf("dsp: cross-correlation of empty input")
+	}
+	if maxLag < 0 {
+		return nil, nil, fmt.Errorf("dsp: negative maxLag")
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	lags = make([]int, 2*maxLag+1)
+	r = make([]float64, 2*maxLag+1)
+	for i := range lags {
+		k := i - maxLag
+		lags[i] = k
+		acc := 0.0
+		for t := 0; t < n; t++ {
+			u := t - k
+			if u < 0 || u >= n {
+				continue
+			}
+			acc += a[t] * b[u]
+		}
+		r[i] = acc / float64(n)
+	}
+	return lags, r, nil
+}
+
+// PeakLag returns the lag of the maximum cross-correlation magnitude with
+// three-point parabolic interpolation for sub-sample resolution.
+func PeakLag(lags []int, r []float64) (float64, error) {
+	if len(lags) != len(r) || len(r) == 0 {
+		return 0, fmt.Errorf("dsp: PeakLag: bad inputs")
+	}
+	best := 0
+	for i := range r {
+		if math.Abs(r[i]) > math.Abs(r[best]) {
+			best = i
+		}
+	}
+	lag := float64(lags[best])
+	if best > 0 && best < len(r)-1 {
+		ym, y0, yp := math.Abs(r[best-1]), math.Abs(r[best]), math.Abs(r[best+1])
+		den := ym - 2*y0 + yp
+		if den < 0 {
+			lag += 0.5 * (ym - yp) / den
+		}
+	}
+	return lag, nil
+}

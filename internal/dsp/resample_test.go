@@ -1,0 +1,162 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResamplerValidation(t *testing.T) {
+	if _, err := NewResampler(0, 1, 0, 0); err == nil {
+		t.Error("L=0 must fail")
+	}
+	if _, err := NewResampler(1, 0, 0, 0); err == nil {
+		t.Error("M=0 must fail")
+	}
+	r, err := NewResampler(4, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reduced to lowest terms.
+	if r.L != 2 || r.M != 1 {
+		t.Errorf("not reduced: %d/%d", r.L, r.M)
+	}
+}
+
+func TestResamplerUpsampleTone(t *testing.T) {
+	// 3x upsample of a slow tone must interpolate smoothly.
+	r, err := NewResampler(3, 1, 16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 256
+	x := make([]float64, n)
+	nu := 0.03
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * nu * float64(i))
+	}
+	y := r.Apply(x)
+	if len(y) != r.OutLen(n) || len(y) != n*3 {
+		t.Fatalf("output length %d", len(y))
+	}
+	worst := 0.0
+	for j := 60; j < len(y)-60; j++ {
+		want := math.Sin(2 * math.Pi * nu * float64(j) / 3)
+		if d := math.Abs(y[j] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2e-3 {
+		t.Errorf("upsample error %g", worst)
+	}
+}
+
+func TestResamplerRationalRatio(t *testing.T) {
+	// 3/2 resampling of a tone: output tone at nu*2/3 of the new rate.
+	r, err := NewResampler(3, 2, 16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 600
+	x := make([]float64, n)
+	nu := 0.05
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * nu * float64(i))
+	}
+	y := r.Apply(x)
+	worst := 0.0
+	for j := 60; j < len(y)-60; j++ {
+		want := math.Cos(2 * math.Pi * nu * float64(j) * 2 / 3)
+		if d := math.Abs(y[j] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 5e-3 {
+		t.Errorf("3/2 resample error %g", worst)
+	}
+}
+
+func TestResamplerDecimateRemovesHighBand(t *testing.T) {
+	// 1/2 decimation must anti-alias: a tone above the output Nyquist is
+	// suppressed rather than folded.
+	r, err := NewResampler(1, 2, 20, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 0.35 * float64(i)) // above 0.25
+	}
+	y := r.Apply(x)
+	if rms := RMS(y[40 : len(y)-40]); rms > 0.02 {
+		t.Errorf("aliased energy %g after decimation", rms)
+	}
+}
+
+func TestResamplerComplex(t *testing.T) {
+	r, _ := NewResampler(2, 1, 12, 70)
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(float64(i%5), -float64(i%3))
+	}
+	y := r.ApplyComplex(x)
+	if len(y) != 256 {
+		t.Fatalf("length %d", len(y))
+	}
+	if r.Apply(nil) != nil {
+		t.Error("empty input")
+	}
+}
+
+func TestCrossCorrelateFindsDelay(t *testing.T) {
+	n := 512
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Sin(0.7*float64(i)) + 0.3*math.Sin(0.13*float64(i))
+	}
+	shift := 7
+	for i := range b {
+		if i+shift < n {
+			b[i] = a[i+shift] // b leads a by `shift`
+		}
+	}
+	lags, r, err := CrossCorrelate(a, b, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a[t] ~ b[t - shift]: peak at k = shift.
+	peak, err := PeakLag(lags, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(peak-float64(shift)) > 0.5 {
+		t.Errorf("peak lag %g, want %d", peak, shift)
+	}
+}
+
+func TestCrossCorrelateValidation(t *testing.T) {
+	if _, _, err := CrossCorrelate(nil, []float64{1}, 2); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, _, err := CrossCorrelate([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative lag must fail")
+	}
+	if _, err := PeakLag([]int{0}, nil); err == nil {
+		t.Error("ragged PeakLag must fail")
+	}
+}
+
+func TestPeakLagParabolicRefinement(t *testing.T) {
+	// Symmetric triangle around lag 0 slightly tilted: refinement lands
+	// between samples.
+	lags := []int{-1, 0, 1}
+	r := []float64{0.8, 1.0, 0.9}
+	peak, err := PeakLag(lags, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak <= 0 || peak >= 0.5 {
+		t.Errorf("refined peak %g, want in (0, 0.5)", peak)
+	}
+}

@@ -1,0 +1,31 @@
+package dsp
+
+import "math"
+
+// Sinc returns the normalised sinc function sin(pi x)/(pi x), with
+// Sinc(0) = 1. Near zero a Taylor expansion avoids catastrophic cancellation.
+func Sinc(x float64) float64 {
+	ax := math.Abs(x)
+	if ax < 1e-6 {
+		px := math.Pi * x
+		return 1 - px*px/6
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// DiffCosOverT evaluates (cos(a*t + pa) - cos(b*t + pb)) / t with the t -> 0
+// limit handled analytically. When pa == pb the limit is (b-a)*sin(pa)...
+// more precisely d/dt[cos(a t + pa) - cos(b t + pb)] at 0 =
+// -a sin(pa) + b sin(pb). This helper underpins the Kohlenberg interpolation
+// kernel, whose two terms are exactly of this shape.
+func DiffCosOverT(a, pa, b, pb, t float64) float64 {
+	if math.Abs(t) < 1e-13 {
+		// First-order Taylor: cos(a t + pa) ~ cos(pa) - a t sin(pa).
+		// (cos(pa)-cos(pb))/t diverges unless cos(pa)==cos(pb); the kernel
+		// always calls with pa == pb so the constant term cancels exactly.
+		return -a*math.Sin(pa) + b*math.Sin(pb) +
+			t*0.5*(-a*a*math.Cos(pa)+b*b*math.Cos(pb))
+	}
+	return (math.Cos(a*t+pa) - math.Cos(b*t+pb)) / t
+}

@@ -1,0 +1,63 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSTFTValidation(t *testing.T) {
+	x := make([]complex128, 64)
+	if _, err := STFT(x, 1, 2, 1); err == nil {
+		t.Error("tiny segment must fail")
+	}
+	if _, err := STFT(x, 1, 16, 0); err == nil {
+		t.Error("hop 0 must fail")
+	}
+	if _, err := STFT(x[:8], 1, 16, 4); err == nil {
+		t.Error("short input must fail")
+	}
+}
+
+func TestSTFTTracksHoppingTone(t *testing.T) {
+	// Frequency-hopped complex tone: -100 kHz for the first half, +200 kHz
+	// for the second.
+	fs := 1e6
+	n := 4096
+	x := make([]complex128, n)
+	for i := range x {
+		f := -100e3
+		if i >= n/2 {
+			f = 200e3
+		}
+		ph := 2 * math.Pi * f * float64(i) / fs
+		s, c := math.Sincos(ph)
+		x[i] = complex(c, s)
+	}
+	sg, err := STFT(x, fs, 256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	track := sg.PeakTrack()
+	if len(track) != len(sg.Times) {
+		t.Fatal("track length")
+	}
+	// Early columns near -100 kHz, late near +200 kHz.
+	early := track[1]
+	late := track[len(track)-2]
+	if math.Abs(early-(-100e3)) > 2*fs/256 {
+		t.Errorf("early track %g", early)
+	}
+	if math.Abs(late-200e3) > 2*fs/256 {
+		t.Errorf("late track %g", late)
+	}
+	// Time axis sane and monotone.
+	for i := 1; i < len(sg.Times); i++ {
+		if sg.Times[i] <= sg.Times[i-1] {
+			t.Fatal("times not monotone")
+		}
+	}
+	// Frequency axis spans [-fs/2, fs/2).
+	if sg.Freqs[0] != -fs/2 {
+		t.Errorf("freq axis starts at %g", sg.Freqs[0])
+	}
+}

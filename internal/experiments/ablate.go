@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/pnbs"
+	"repro/internal/skew"
+)
+
+// AblateRow is one design-point evaluation.
+type AblateRow struct {
+	Param     string
+	Value     float64
+	SkewErrPS float64
+	ReconErr  float64
+	CostEvals int
+	Iters     int
+}
+
+// AblateResult sweeps the design choices DESIGN.md calls out — filter
+// length, window shape, cost-sample count, clock jitter — one at a time
+// around the paper's operating point, and additionally compares Algorithm 1
+// against a golden-section search on the same objective.
+type AblateResult struct {
+	Rows []AblateRow
+	// GoldenEvals and LMSEvals compare the two minimisers at the paper's
+	// operating point.
+	GoldenEvals, LMSEvals int
+	GoldenErrPS, LMSErrPS float64
+}
+
+// RunAblate executes the sweep. Each design point runs the full
+// acquire -> evaluate -> estimate pipeline on the paper scenario.
+func RunAblate() (*AblateResult, error) {
+	res := &AblateResult{}
+	runPoint := func(param string, value float64, mutate func(s *PaperSetup)) error {
+		s := DefaultPaperSetup()
+		mutate(&s)
+		tx, err := s.buildTx()
+		if err != nil {
+			return err
+		}
+		// Capture length scales with the filter span so the paper's
+		// evaluation window stays covered for every design point.
+		nB := 2*s.HalfTaps + 170
+		setB, setB1, actualD, err := s.AcquireDualRate(tx.Output(), nB)
+		if err != nil {
+			return err
+		}
+		ce, err := s.Evaluator(setB, setB1)
+		if err != nil {
+			return err
+		}
+		r, err := skew.Estimate(ce, 100e-12, skew.LMSConfig{Mu0: 1e-12})
+		if err != nil {
+			return err
+		}
+		// Reconstruction error with the estimated delay (vs ideal samples).
+		opt := pnbs.Options{HalfTaps: s.HalfTaps, KaiserBeta: s.KaiserBeta}
+		rec, err := pnbs.NewReconstructor(setB.Band, r.DHat, setB.T0, setB.Ch0, setB.Ch1, opt)
+		if err != nil {
+			return err
+		}
+		times := ce.Times()
+		truth := make([]float64, len(times))
+		out := tx.Output()
+		for i, tv := range times {
+			truth[i] = out.At(tv)
+		}
+		got := rec.AtTimes(times)
+		var num, den float64
+		for i := range got {
+			d := got[i] - truth[i]
+			num += d * d
+			den += truth[i] * truth[i]
+		}
+		res.Rows = append(res.Rows, AblateRow{
+			Param:     param,
+			Value:     value,
+			SkewErrPS: math.Abs(r.DHat-actualD) * 1e12,
+			ReconErr:  math.Sqrt(num / den),
+			CostEvals: r.CostEvals,
+			Iters:     r.Iterations,
+		})
+		return nil
+	}
+
+	for _, ht := range []int{10, 20, 30, 45, 60} {
+		ht := ht
+		if err := runPoint("halfTaps", float64(ht), func(s *PaperSetup) { s.HalfTaps = ht }); err != nil {
+			return nil, err
+		}
+	}
+	for _, kb := range []float64{4, 6, 8, 10, 12} {
+		kb := kb
+		if err := runPoint("kaiserBeta", kb, func(s *PaperSetup) { s.KaiserBeta = kb }); err != nil {
+			return nil, err
+		}
+	}
+	for _, nt := range []int{50, 100, 200, 300, 500} {
+		nt := nt
+		if err := runPoint("nTimes", float64(nt), func(s *PaperSetup) { s.NTimes = nt }); err != nil {
+			return nil, err
+		}
+	}
+	for _, jit := range []float64{0, 1e-12, 3e-12, 6e-12, 10e-12} {
+		jit := jit
+		if err := runPoint("jitterPS", jit*1e12, func(s *PaperSetup) { s.JitterRMS = jit }); err != nil {
+			return nil, err
+		}
+	}
+
+	// Minimiser comparison at the operating point.
+	s := DefaultPaperSetup()
+	tx, err := s.buildTx()
+	if err != nil {
+		return nil, err
+	}
+	setB, setB1, actualD, err := s.AcquireDualRate(tx.Output(), 220)
+	if err != nil {
+		return nil, err
+	}
+	ce, err := s.Evaluator(setB, setB1)
+	if err != nil {
+		return nil, err
+	}
+	lms, err := skew.Estimate(ce, 100e-12, skew.LMSConfig{Mu0: 1e-12})
+	if err != nil {
+		return nil, err
+	}
+	m := skew.MUpper(s.BandB, s.BandB1)
+	gold, err := skew.GoldenSection(ce.Cost, m/1000, m*0.999, 0.05e-12)
+	if err != nil {
+		return nil, err
+	}
+	res.LMSEvals = lms.CostEvals
+	res.LMSErrPS = math.Abs(lms.DHat-actualD) * 1e12
+	res.GoldenEvals = gold.CostEvals
+	res.GoldenErrPS = math.Abs(gold.DHat-actualD) * 1e12
+	return res, nil
+}
+
+// Render prints the sweep tables.
+func (r *AblateResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Design-choice ablations around the paper operating point")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Param,
+			fmt.Sprintf("%g", row.Value),
+			fmt.Sprintf("%.3f", row.SkewErrPS),
+			pct(row.ReconErr),
+			fmt.Sprintf("%d", row.CostEvals),
+			fmt.Sprintf("%d", row.Iters),
+		})
+	}
+	writeTable(w, []string{"param", "value", "skew err [ps]", "recon err", "cost evals", "iters"}, rows)
+	fmt.Fprintf(w, "minimiser comparison (blind start vs full bracket): LMS %d evals / %.3f ps vs golden-section %d evals / %.3f ps\n",
+		r.LMSEvals, r.LMSErrPS, r.GoldenEvals, r.GoldenErrPS)
+}

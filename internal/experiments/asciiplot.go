@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// asciiPlot renders an (x, y) series as a terminal scatter/line chart.
+// It is deliberately minimal: fixed-size grid, dot markers, axis labels at
+// the corners — enough to eyeball the shapes of Fig. 3a, Fig. 5 and Fig. 6.
+type asciiPlot struct {
+	w, h   int
+	grid   [][]byte
+	xMin   float64
+	xMax   float64
+	yMin   float64
+	yMax   float64
+	xLabel string
+	yLabel string
+}
+
+// newAsciiPlot allocates a w x h plot over the given axis ranges.
+func newAsciiPlot(w, h int, xMin, xMax, yMin, yMax float64, xLabel, yLabel string) *asciiPlot {
+	if w < 16 {
+		w = 16
+	}
+	if h < 8 {
+		h = 8
+	}
+	g := make([][]byte, h)
+	for i := range g {
+		g[i] = []byte(strings.Repeat(" ", w))
+	}
+	return &asciiPlot{w: w, h: h, grid: g,
+		xMin: xMin, xMax: xMax, yMin: yMin, yMax: yMax,
+		xLabel: xLabel, yLabel: yLabel}
+}
+
+// cell maps data coordinates to a grid cell, reporting false when outside.
+func (p *asciiPlot) cell(x, y float64) (cx, cy int, ok bool) {
+	if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return 0, 0, false
+	}
+	fx := (x - p.xMin) / (p.xMax - p.xMin)
+	fy := (y - p.yMin) / (p.yMax - p.yMin)
+	if fx < 0 || fx > 1 || fy < 0 || fy > 1 {
+		return 0, 0, false
+	}
+	cx = int(fx * float64(p.w-1))
+	cy = p.h - 1 - int(fy*float64(p.h-1))
+	return cx, cy, true
+}
+
+// mark places a marker at data coordinates.
+func (p *asciiPlot) mark(x, y float64, c byte) {
+	if cx, cy, ok := p.cell(x, y); ok {
+		p.grid[cy][cx] = c
+	}
+}
+
+// series plots a whole curve.
+func (p *asciiPlot) series(xs, ys []float64, c byte) {
+	for i := range xs {
+		if i < len(ys) {
+			p.mark(xs[i], ys[i], c)
+		}
+	}
+}
+
+// render writes the plot with a frame and corner labels.
+func (p *asciiPlot) render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", p.yLabel)
+	fmt.Fprintf(w, "%9.3g +%s+\n", p.yMax, strings.Repeat("-", p.w))
+	for _, row := range p.grid {
+		fmt.Fprintf(w, "%9s |%s|\n", "", string(row))
+	}
+	fmt.Fprintf(w, "%9.3g +%s+\n", p.yMin, strings.Repeat("-", p.w))
+	fmt.Fprintf(w, "%9s  %-*.3g%*.3g   %s\n", "", p.w/2, p.xMin, p.w-p.w/2, p.xMax, p.xLabel)
+}

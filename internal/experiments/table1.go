@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/pnbs"
+	"repro/internal/rf"
+	"repro/internal/sig"
+	"repro/internal/skew"
+)
+
+// Table1Row is one estimator evaluation: the paper's three metrics.
+type Table1Row struct {
+	// Label identifies the technique and its parameter.
+	Label string
+	// AbsErr is |D-hat - D| in seconds.
+	AbsErr float64
+	// RelErr is |1 - D-hat/D|.
+	RelErr float64
+	// ReconErr is the relative error of the test-signal reconstruction
+	// performed with D-hat (the paper's Delta-epsilon column).
+	ReconErr float64
+}
+
+// Table1Result reproduces Table I: the sinusoid-based technique adapted
+// from [14] at two test frequencies versus the LMS technique from two
+// starting estimates.
+type Table1Result struct {
+	DTrue float64
+	Rows  []Table1Row
+	// AuxRows holds the idealised coherent-fit adaptation of [14] at the
+	// same frequencies: together with Rows it brackets the paper's
+	// baseline (see EXPERIMENTS.md, "baseline ordering").
+	AuxRows []Table1Row
+	// FloorErr is the reconstruction error with the exact delay — the
+	// jitter/quantization floor (paper: 0.84 %).
+	FloorErr float64
+}
+
+// RunTable1 regenerates Table I.
+func RunTable1(s PaperSetup, nB int) (*Table1Result, error) {
+	if nB <= 0 {
+		nB = 220
+	}
+	tx, err := s.buildTx()
+	if err != nil {
+		return nil, err
+	}
+	out := tx.Output()
+	setB, setB1, actualD, err := s.AcquireDualRate(out, nB)
+	if err != nil {
+		return nil, err
+	}
+	ce, err := s.Evaluator(setB, setB1)
+	if err != nil {
+		return nil, err
+	}
+	times := ce.Times()
+	truth := sig.SampleAt(out, times)
+	opt := pnbs.Options{HalfTaps: s.HalfTaps}
+	reconErr := func(dHat float64) (float64, error) {
+		r, err := pnbs.NewReconstructor(setB.Band, dHat, setB.T0, setB.Ch0, setB.Ch1, opt)
+		if err != nil {
+			return 0, err
+		}
+		return dsp.RelRMSError(r.AtTimes(times), truth), nil
+	}
+	res := &Table1Result{DTrue: actualD}
+	if res.FloorErr, err = reconErr(actualD); err != nil {
+		return nil, err
+	}
+	m := skew.MUpper(s.BandB, s.BandB1)
+
+	// Sinusoid-based baseline at omega0 = 0.4 B and 0.46 B.
+	for _, frac := range []float64{0.40, 0.46} {
+		f0, err := skew.SineTestFrequency(s.BandB, s.BandB.B, frac*s.BandB.B)
+		if err != nil {
+			return nil, err
+		}
+		fb := f0 - s.BandB.Fc()
+		toneTx, err := rf.NewTransmitter(rf.TxConfig{Fc: s.BandB.Fc()},
+			&sig.ComplexTone{Amp: 1, Freq: fb})
+		if err != nil {
+			return nil, err
+		}
+		ti, err := s.buildTIADC()
+		if err != nil {
+			return nil, err
+		}
+		cap0, err := ti.Capture(toneTx.Output(), s.BandB.T(), s.D, 0, nB)
+		if err != nil {
+			return nil, err
+		}
+		scfg := skew.SineEstimateConfig{F0: f0, B: s.BandB.B, T0: cap0.T0, DMax: m}
+		dHat, err := skew.EstimateJamalInterp(scfg, cap0.Ch0, cap0.Ch1)
+		if err != nil {
+			return nil, err
+		}
+		re, err := reconErr(dHat)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Label:    fmt.Sprintf("sine [14], w0 = %.2f B", frac),
+			AbsErr:   math.Abs(dHat - actualD),
+			RelErr:   math.Abs(1 - dHat/actualD),
+			ReconErr: re,
+		})
+		// Auxiliary: the idealised coherent-fit adaptation on the same data.
+		dFit, err := skew.EstimateSine(scfg, cap0.Ch0, cap0.Ch1)
+		if err != nil {
+			return nil, err
+		}
+		reFit, err := reconErr(dFit)
+		if err != nil {
+			return nil, err
+		}
+		res.AuxRows = append(res.AuxRows, Table1Row{
+			Label:    fmt.Sprintf("coherent fit, w0 = %.2f B", frac),
+			AbsErr:   math.Abs(dFit - actualD),
+			RelErr:   math.Abs(1 - dFit/actualD),
+			ReconErr: reFit,
+		})
+	}
+
+	// LMS technique from the paper's two starting estimates.
+	for _, d0 := range []float64{50e-12, 400e-12} {
+		r, err := skew.Estimate(ce, d0, skew.LMSConfig{Mu0: 1e-12})
+		if err != nil {
+			return nil, err
+		}
+		re, err := reconErr(r.DHat)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Label:    fmt.Sprintf("LMS, D0 = %.0f ps", d0*1e12),
+			AbsErr:   math.Abs(r.DHat - actualD),
+			RelErr:   math.Abs(1 - r.DHat/actualD),
+			ReconErr: re,
+		})
+	}
+	return res, nil
+}
+
+// Render prints Table I.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table I — time-skew estimation analysis (true D = 180 ps)")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Label,
+			ps(row.AbsErr) + " ps",
+			pct(row.RelErr),
+			pct(row.ReconErr),
+		})
+	}
+	writeTable(w, []string{"technique", "|D-hat - D|", "|1 - D-hat/D|", "recon err"}, rows)
+	fmt.Fprintf(w, "reconstruction floor with exact D: %s (paper: 0.84%%)\n", pct(r.FloorErr))
+	if len(r.AuxRows) > 0 {
+		fmt.Fprintln(w, "\nauxiliary: the idealised coherent-fit adaptation of [14] on the same captures")
+		rows = rows[:0]
+		for _, row := range r.AuxRows {
+			rows = append(rows, []string{row.Label, ps(row.AbsErr) + " ps", pct(row.RelErr), pct(row.ReconErr)})
+		}
+		writeTable(w, []string{"technique", "|D-hat - D|", "|1 - D-hat/D|", "recon err"}, rows)
+		fmt.Fprintln(w, "The two adaptations bracket the paper's baseline rows; the LMS needs no stimulus knowledge at all.")
+	}
+}

@@ -1,0 +1,63 @@
+package mask_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/mask"
+)
+
+// Check a synthetic transmit spectrum against the built-in wideband mask.
+func ExampleCheck() {
+	m := mask.WidebandQPSK15M()
+	fc := 1e9
+	// Synthetic PSD: flat 15 MHz channel with -45 dBc skirts.
+	binW := 25e3
+	n := int(120e6 / binW)
+	freqs := make([]float64, n)
+	psd := make([]float64, n)
+	for i := range freqs {
+		f := fc - 60e6 + float64(i)*binW
+		freqs[i] = f
+		if math.Abs(f-fc) <= 7.5e6 {
+			psd[i] = 1
+		} else {
+			psd[i] = dsp.FromPowerDB(-45)
+		}
+	}
+	spec := &dsp.Spectrum{Freqs: freqs, PSD: psd, BinWidth: binW}
+	rep, err := mask.Check(m, spec, fc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pass:", rep.Pass)
+	fmt.Println("has positive margin:", rep.WorstMarginDB > 0)
+	// Output:
+	// pass: true
+	// has positive margin: true
+}
+
+// Occupied bandwidth of the same synthetic channel.
+func ExampleOccupiedBandwidth() {
+	binW := 25e3
+	n := int(60e6 / binW)
+	freqs := make([]float64, n)
+	psd := make([]float64, n)
+	for i := range freqs {
+		f := -30e6 + float64(i)*binW
+		freqs[i] = f
+		if math.Abs(f) <= 5e6 {
+			psd[i] = 1
+		} else {
+			psd[i] = 1e-9
+		}
+	}
+	spec := &dsp.Spectrum{Freqs: freqs, PSD: psd, BinWidth: binW}
+	obw, _, err := mask.OccupiedBandwidth(spec, 0.99)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("99%% OBW ~ 10 MHz: %v\n", obw > 9.5e6 && obw < 10.2e6)
+	// Output: 99% OBW ~ 10 MHz: true
+}

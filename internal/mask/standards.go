@@ -1,0 +1,95 @@
+package mask
+
+// Built-in masks. These are representative multistandard-radio emission
+// masks in the spirit of the waveforms a tactical SDR must support; they are
+// not verbatim copies of any single regulation (the paper likewise argues
+// about mask compliance generically).
+
+// WidebandQPSK15M suits the paper's test signal: 10 MHz QPSK with
+// alpha = 0.5 root-raised-cosine shaping occupies ~15 MHz.
+func WidebandQPSK15M() *Mask {
+	return &Mask{
+		Name:      "wideband-qpsk-15M",
+		ChannelBW: 15e6,
+		RefBW:     100e3,
+		Points: []Point{
+			{OffsetHz: 7.5e6, LimitDBc: -26},
+			{OffsetHz: 10e6, LimitDBc: -34},
+			{OffsetHz: 15e6, LimitDBc: -42},
+			{OffsetHz: 22.5e6, LimitDBc: -46},
+			{OffsetHz: 35e6, LimitDBc: -48},
+		},
+	}
+}
+
+// NarrowbandVHF builds a narrowband (25 kHz channel) mask typical of
+// legacy-interop waveforms.
+func NarrowbandVHF() *Mask {
+	return &Mask{
+		Name:      "narrowband-vhf-25k",
+		ChannelBW: 25e3,
+		RefBW:     1e3,
+		Points: []Point{
+			{OffsetHz: 12.5e3, LimitDBc: -25},
+			{OffsetHz: 25e3, LimitDBc: -45},
+			{OffsetHz: 62.5e3, LimitDBc: -60},
+		},
+	}
+}
+
+// WidebandOFDMLike is a 5 MHz channel mask with steep shoulders, in the
+// style of modern wideband networking waveforms.
+func WidebandOFDMLike() *Mask {
+	return &Mask{
+		Name:      "wideband-ofdm-5M",
+		ChannelBW: 5e6,
+		RefBW:     100e3,
+		Points: []Point{
+			{OffsetHz: 2.5e6, LimitDBc: -20},
+			{OffsetHz: 3.5e6, LimitDBc: -28},
+			{OffsetHz: 6e6, LimitDBc: -40},
+			{OffsetHz: 10e6, LimitDBc: -50},
+		},
+	}
+}
+
+// WidebandMulticarrier10M suits a ~10 MHz multicarrier (OFDM-style)
+// waveform, whose sinc-like subcarrier sidelobes decay far more slowly than
+// a shaped single-carrier spectrum: the shoulders are correspondingly
+// relaxed. Masks are waveform-specific — checking OFDM against a
+// single-carrier mask produces false alarms by design.
+func WidebandMulticarrier10M() *Mask {
+	return &Mask{
+		Name:      "wideband-multicarrier-10M",
+		ChannelBW: 12e6,
+		RefBW:     100e3,
+		Points: []Point{
+			{OffsetHz: 6e6, LimitDBc: -42},
+			{OffsetHz: 8e6, LimitDBc: -52},
+			{OffsetHz: 20e6, LimitDBc: -56},
+			{OffsetHz: 35e6, LimitDBc: -56},
+		},
+	}
+}
+
+// ByName looks up a built-in mask.
+func ByName(name string) (*Mask, bool) {
+	switch name {
+	case "wideband-qpsk-15M":
+		return WidebandQPSK15M(), true
+	case "narrowband-vhf-25k":
+		return NarrowbandVHF(), true
+	case "wideband-ofdm-5M":
+		return WidebandOFDMLike(), true
+	case "wideband-multicarrier-10M":
+		return WidebandMulticarrier10M(), true
+	default:
+		return nil, false
+	}
+}
+
+// Names lists the built-in masks.
+func Names() []string {
+	return []string{"wideband-qpsk-15M", "narrowband-vhf-25k", "wideband-ofdm-5M",
+		"wideband-multicarrier-10M"}
+}

@@ -1,0 +1,64 @@
+package modem
+
+import "fmt"
+
+// Demap slices each received symbol on the constellation and returns the
+// corresponding hard-decision bit stream (MSB first per symbol, matching
+// Map).
+func (c *Constellation) Demap(symbols []complex128) []int {
+	bps := c.BitsPerSymbol()
+	out := make([]int, 0, len(symbols)*bps)
+	for _, s := range symbols {
+		idx := c.Slice(s)
+		for b := bps - 1; b >= 0; b-- {
+			out = append(out, (idx>>b)&1)
+		}
+	}
+	return out
+}
+
+// BERResult summarises a bit-error-rate measurement.
+type BERResult struct {
+	// Bits is the number of compared bits; Errors the mismatches.
+	Bits, Errors int
+	// BER is Errors/Bits.
+	BER float64
+}
+
+// CountBitErrors compares two equal-length bit streams.
+func CountBitErrors(got, want []int) (BERResult, error) {
+	if len(got) != len(want) {
+		return BERResult{}, fmt.Errorf("modem: BER: %d vs %d bits", len(got), len(want))
+	}
+	if len(got) == 0 {
+		return BERResult{}, fmt.Errorf("modem: BER: empty streams")
+	}
+	res := BERResult{Bits: len(got)}
+	for i := range got {
+		gb := 0
+		if got[i] != 0 {
+			gb = 1
+		}
+		wb := 0
+		if want[i] != 0 {
+			wb = 1
+		}
+		if gb != wb {
+			res.Errors++
+		}
+	}
+	res.BER = float64(res.Errors) / float64(res.Bits)
+	return res, nil
+}
+
+// MapBits is a convenience wrapper pairing Map's error with Gray demapping
+// round trips: it maps bits, returning the symbols and the bit count used.
+func (c *Constellation) MapBits(bits []int) ([]complex128, int, error) {
+	bps := c.BitsPerSymbol()
+	usable := (len(bits) / bps) * bps
+	syms, err := c.Map(bits[:usable])
+	if err != nil {
+		return nil, 0, err
+	}
+	return syms, usable, nil
+}

@@ -1,0 +1,109 @@
+package modem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sig"
+)
+
+func TestMapDemapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range []*Constellation{BPSK, QPSK, PSK8, QAM16, QAM64} {
+		bits := make([]int, 240*c.BitsPerSymbol())
+		for i := range bits {
+			bits[i] = rng.Intn(2)
+		}
+		syms, used, err := c.MapBits(bits)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if used != len(bits) {
+			t.Fatalf("%s: used %d of %d bits", c.Name, used, len(bits))
+		}
+		back := c.Demap(syms)
+		res, err := CountBitErrors(back, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("%s: %d bit errors on a clean round trip", c.Name, res.Errors)
+		}
+	}
+}
+
+func TestGrayMappingSingleBitPerSymbolError(t *testing.T) {
+	// Push each QPSK symbol slightly toward a neighbouring decision region:
+	// Gray coding guarantees at most one bit flips per symbol error.
+	bits := []int{0, 0, 0, 1, 1, 1, 1, 0}
+	syms, _, err := QPSK.MapBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotate every symbol by 40 degrees: some decisions flip to an
+	// adjacent point.
+	rot := complex(0.766, 0.643)
+	noisy := make([]complex128, len(syms))
+	for i, s := range syms {
+		noisy[i] = s * rot
+	}
+	back := QPSK.Demap(noisy)
+	res, err := CountBitErrors(back, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 40 deg rotation each symbol moves one position at most: at most
+	// one bit error per 2-bit symbol.
+	if res.Errors > len(syms) {
+		t.Errorf("%d errors for %d symbols breaks the Gray property", res.Errors, len(syms))
+	}
+}
+
+func TestCountBitErrorsValidation(t *testing.T) {
+	if _, err := CountBitErrors([]int{1}, []int{1, 0}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := CountBitErrors(nil, nil); err == nil {
+		t.Error("empty must fail")
+	}
+	r, err := CountBitErrors([]int{1, 0, 1, 1}, []int{1, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Errors != 2 || r.BER != 0.5 {
+		t.Errorf("result %+v", r)
+	}
+}
+
+func TestBitPipelineThroughMatchedFilter(t *testing.T) {
+	// Bits -> QPSK -> SRRC envelope -> matched filter -> demap: zero BER.
+	rng := rand.New(rand.NewSource(21))
+	bits := make([]int, 96)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+	syms, _, err := QPSK.MapBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulse, _ := NewSRRC(100e-9, 0.5, 8)
+	env, err := NewShapedEnvelope(syms, pulse, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, _ := NewMatchedFilter(pulse, 8)
+	var cont sig.Envelope = env
+	rx := mf.Demod(cont, 0, len(syms))
+	norm, err := NormalizeScaleAndPhase(rx, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := QPSK.Demap(norm)
+	res, err := CountBitErrors(back, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d bit errors through the clean pipeline", res.Errors)
+	}
+}

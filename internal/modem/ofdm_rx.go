@@ -1,0 +1,184 @@
+package modem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/sig"
+)
+
+// OFDMDemodConfig describes the receiver side of a CP-OFDM link; it must
+// match the transmitter's OFDMConfig numerology.
+type OFDMDemodConfig struct {
+	// Subcarriers, Spacing and CPFraction mirror OFDMConfig.
+	Subcarriers int
+	Spacing     float64
+	CPFraction  float64
+	// EdgeTaper mirrors the transmitter's symbol-edge window fraction;
+	// when non-zero the demodulator zero-forces the known inter-carrier
+	// interference the window creates inside the useful interval
+	// (0 = no equalisation).
+	EdgeTaper float64
+	// Oversample sets the numeric-integration density per useful symbol
+	// (0 = 4 x Subcarriers points).
+	Oversample int
+}
+
+// DemodOFDM recovers the payload of nSym OFDM symbols starting at symbol
+// index m0 from a continuous envelope (analytic or reconstructed): the
+// cyclic prefix is skipped and each subcarrier is correlated over the
+// useful interval. The result is indexed [symbol][subcarrier] with the
+// same subcarrier layout as OFDMEnvelope (positive tones first, then
+// negative).
+func DemodOFDM(env sig.Envelope, cfg OFDMDemodConfig, m0, nSym int) ([][]complex128, error) {
+	if cfg.Subcarriers < 2 || cfg.Subcarriers%2 != 0 {
+		return nil, fmt.Errorf("modem: OFDM demod needs an even subcarrier count, got %d", cfg.Subcarriers)
+	}
+	if cfg.Spacing <= 0 {
+		return nil, fmt.Errorf("modem: OFDM demod spacing %g must be positive", cfg.Spacing)
+	}
+	if cfg.CPFraction == 0 {
+		cfg.CPFraction = 1.0 / 8
+	}
+	if cfg.CPFraction < 0 || cfg.CPFraction > 1 {
+		return nil, fmt.Errorf("modem: OFDM demod CP fraction %g outside [0, 1]", cfg.CPFraction)
+	}
+	if nSym < 1 {
+		return nil, fmt.Errorf("modem: OFDM demod needs at least one symbol")
+	}
+	nPts := cfg.Oversample
+	if nPts <= 0 {
+		nPts = 4 * cfg.Subcarriers
+	}
+	tU := 1 / cfg.Spacing
+	tCP := cfg.CPFraction * tU
+	tSym := tU + tCP
+	n := cfg.Subcarriers
+	freqs := make([]float64, n)
+	for k := 0; k < n/2; k++ {
+		freqs[k] = float64(k+1) * cfg.Spacing
+		freqs[n/2+k] = -float64(k+1) * cfg.Spacing
+	}
+	out := make([][]complex128, nSym)
+	dt := tU / float64(nPts)
+	// Correlate over the FULL useful interval: subcarrier orthogonality
+	// requires exactly one period of every beat frequency. The residual
+	// error from the transmitter's symbol-edge taper (a few percent of the
+	// interval) shows up as a small common loss plus low-level ICI — the
+	// receiver-side EVM floor.
+	// When the transmitter's edge taper is known, build the windowed
+	// cross-correlation matrix G[k][j] = (1/Tu) int T(tau) e^{i2pi(fj-fk)tau}
+	// and zero-force it: the taper lives inside the useful interval, so
+	// without equalisation it appears as inter-carrier interference.
+	var gw map[int]complex128
+	if cfg.EdgeTaper > 0 {
+		wEdge := cfg.EdgeTaper * tSym
+		taper := func(tau float64) float64 {
+			tin := tCP + tau
+			switch {
+			case tin < wEdge:
+				return 0.5 * (1 - math.Cos(math.Pi*tin/wEdge))
+			case tin > tSym-wEdge:
+				return 0.5 * (1 - math.Cos(math.Pi*(tSym-tin)/wEdge))
+			default:
+				return 1
+			}
+		}
+		gw = make(map[int]complex128, 2*n+1)
+		for diff := -n; diff <= n; diff++ {
+			var acc complex128
+			for i := 0; i < nPts; i++ {
+				tau := (float64(i) + 0.5) * dt
+				s, c := math.Sincos(2 * math.Pi * float64(diff) * cfg.Spacing * tau)
+				acc += complex(taper(tau)*c, taper(tau)*s)
+			}
+			gw[diff] = acc / complex(float64(nPts), 0)
+		}
+	}
+	// Signed subcarrier indices matching the freqs layout.
+	sidx := make([]int, n)
+	for k := 0; k < n/2; k++ {
+		sidx[k] = k + 1
+		sidx[n/2+k] = -(k + 1)
+	}
+	for m := 0; m < nSym; m++ {
+		base := float64(m0+m) * tSym
+		row := make([]complex128, n)
+		for k, f := range freqs {
+			var acc complex128
+			for i := 0; i < nPts; i++ {
+				// tau referenced to the end of the CP, matching the Tx.
+				tau := (float64(i) + 0.5) * dt
+				t := base + tCP + tau
+				s, c := math.Sincos(-2 * math.Pi * f * tau)
+				acc += env.At(t) * complex(c, s)
+			}
+			row[k] = acc / complex(float64(nPts), 0)
+		}
+		if gw != nil {
+			g := make([][]complex128, n)
+			for k := 0; k < n; k++ {
+				g[k] = make([]complex128, n)
+				for j := 0; j < n; j++ {
+					g[k][j] = gw[sidx[j]-sidx[k]]
+				}
+			}
+			eq, ok := dsp.SolveLinearComplex(g, row)
+			if !ok {
+				return nil, fmt.Errorf("modem: OFDM taper equaliser singular")
+			}
+			row = eq
+		}
+		out[m] = row
+	}
+	return out, nil
+}
+
+// OFDMEVM compares demodulated subcarrier values against the known payload
+// (both [symbol][subcarrier]) after removing a single common complex gain,
+// returning the RMS EVM in percent.
+func OFDMEVM(got, want [][]complex128) (float64, error) {
+	if len(got) != len(want) || len(got) == 0 {
+		return 0, fmt.Errorf("modem: OFDM EVM: %d vs %d symbols", len(got), len(want))
+	}
+	var g, r []complex128
+	for m := range got {
+		if len(got[m]) != len(want[m]) {
+			return 0, fmt.Errorf("modem: OFDM EVM: symbol %d has %d vs %d subcarriers",
+				m, len(got[m]), len(want[m]))
+		}
+		g = append(g, got[m]...)
+		r = append(r, want[m]...)
+	}
+	norm, err := NormalizeScaleAndPhase(g, r)
+	if err != nil {
+		return 0, err
+	}
+	res, err := EVM(norm, r)
+	if err != nil {
+		return 0, err
+	}
+	return res.RMSPercent, nil
+}
+
+// Payload exposes the transmitted subcarrier values of symbol m (for
+// reference-aided measurements).
+func (o *OFDMEnvelope) Payload(m int) ([]complex128, error) {
+	if m < 0 || m >= len(o.data) {
+		return nil, fmt.Errorf("modem: OFDM payload index %d outside [0, %d)", m, len(o.data))
+	}
+	out := make([]complex128, len(o.data[m]))
+	copy(out, o.data[m])
+	return out, nil
+}
+
+// DemodConfig returns the receiver numerology matching this envelope.
+func (o *OFDMEnvelope) DemodConfig() OFDMDemodConfig {
+	return OFDMDemodConfig{
+		Subcarriers: o.cfg.Subcarriers,
+		Spacing:     o.cfg.Spacing,
+		CPFraction:  o.cfg.CPFraction,
+		EdgeTaper:   o.cfg.EdgeTaper,
+	}
+}

@@ -1,0 +1,97 @@
+package modem
+
+import (
+	"testing"
+)
+
+func TestDemodOFDMRoundTrip(t *testing.T) {
+	o := defaultOFDM(t)
+	cfg := o.DemodConfig()
+	got, err := DemodOFDM(o, cfg, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]complex128, 6)
+	for m := range want {
+		p, err := o.Payload(2 + m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[m] = p
+	}
+	evm, err := OFDMEVM(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean analytic envelope: only the edge taper and numeric integration
+	// limit accuracy.
+	if evm > 3 {
+		t.Errorf("round-trip OFDM EVM %.2f%%", evm)
+	}
+}
+
+func TestDemodOFDMDetectsImpairment(t *testing.T) {
+	o := defaultOFDM(t)
+	cfg := o.DemodConfig()
+	clean, err := DemodOFDM(o, cfg, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A nonlinear (cubic) distortion of the envelope must raise EVM.
+	dirty := envFunc(func(tv float64) complex128 {
+		v := o.At(tv)
+		r2 := real(v)*real(v) + imag(v)*imag(v)
+		return v * complex(1-0.15*r2, 0)
+	})
+	got, err := DemodOFDM(dirty, cfg, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]complex128, 4)
+	for m := range want {
+		want[m], _ = o.Payload(1 + m)
+	}
+	evmClean, err := OFDMEVM(clean, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evmDirty, err := OFDMEVM(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evmDirty < 2*evmClean {
+		t.Errorf("distortion invisible: %.2f%% vs %.2f%%", evmClean, evmDirty)
+	}
+}
+
+// envFunc adapts a closure (avoids importing sig in this package's tests).
+type envFunc func(t float64) complex128
+
+func (f envFunc) At(t float64) complex128 { return f(t) }
+
+func TestDemodOFDMValidation(t *testing.T) {
+	o := defaultOFDM(t)
+	if _, err := DemodOFDM(o, OFDMDemodConfig{Subcarriers: 3, Spacing: 1e5}, 0, 1); err == nil {
+		t.Error("odd subcarriers must fail")
+	}
+	if _, err := DemodOFDM(o, OFDMDemodConfig{Subcarriers: 4}, 0, 1); err == nil {
+		t.Error("zero spacing must fail")
+	}
+	if _, err := DemodOFDM(o, OFDMDemodConfig{Subcarriers: 4, Spacing: 1e5, CPFraction: 2}, 0, 1); err == nil {
+		t.Error("bad CP must fail")
+	}
+	if _, err := DemodOFDM(o, o.DemodConfig(), 0, 0); err == nil {
+		t.Error("zero symbols must fail")
+	}
+	if _, err := o.Payload(-1); err == nil {
+		t.Error("bad payload index must fail")
+	}
+	if _, err := OFDMEVM(nil, nil); err == nil {
+		t.Error("empty EVM must fail")
+	}
+	a := [][]complex128{{1, 2}}
+	b := [][]complex128{{1}}
+	if _, err := OFDMEVM(a, b); err == nil {
+		t.Error("ragged EVM must fail")
+	}
+}

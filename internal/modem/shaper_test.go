@@ -1,0 +1,190 @@
+package modem
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestShapedEnvelopeZeroISIWithRC(t *testing.T) {
+	// With a raised-cosine pulse, env(k Ts) must equal symbol a[k] exactly
+	// (zero inter-symbol interference).
+	ts := 100e-9
+	p, _ := NewRC(ts, 0.5, 8)
+	syms := QPSK.RandomSymbols(64, 17)
+	env, err := NewShapedEnvelope(syms, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 64; k++ {
+		got := env.At(float64(k) * ts)
+		if cmplx.Abs(got-syms[k]) > 1e-8 {
+			t.Errorf("env(%d Ts) = %v, want %v", k, got, syms[k])
+		}
+	}
+}
+
+func TestShapedEnvelopeCyclicPeriodicity(t *testing.T) {
+	ts := 100e-9
+	p, _ := NewSRRC(ts, 0.5, 8)
+	syms := QPSK.RandomSymbols(40, 3)
+	env, _ := NewShapedEnvelope(syms, p, true)
+	period := float64(len(syms)) * ts
+	for _, tv := range []float64{0, 123e-9, 1.7e-6, 3.99e-6} {
+		a := env.At(tv)
+		b := env.At(tv + period)
+		if cmplx.Abs(a-b) > 1e-9 {
+			t.Errorf("t=%g: not periodic: %v vs %v", tv, a, b)
+		}
+	}
+}
+
+func TestShapedEnvelopeNonCyclicVanishesOutside(t *testing.T) {
+	ts := 100e-9
+	p, _ := NewSRRC(ts, 0.5, 8)
+	syms := QPSK.RandomSymbols(10, 4)
+	env, _ := NewShapedEnvelope(syms, p, false)
+	if v := env.At(-9 * ts); v != 0 {
+		t.Errorf("before burst: %v", v)
+	}
+	if v := env.At(float64(len(syms)+9) * ts); v != 0 {
+		t.Errorf("after burst: %v", v)
+	}
+	if env.Duration() != (10+16)*ts {
+		t.Errorf("duration %g", env.Duration())
+	}
+}
+
+func TestShapedEnvelopeValidation(t *testing.T) {
+	p, _ := NewSRRC(1, 0.5, 8)
+	if _, err := NewShapedEnvelope(nil, p, false); err == nil {
+		t.Error("empty symbols must fail")
+	}
+	if _, err := NewShapedEnvelope([]complex128{1}, nil, false); err == nil {
+		t.Error("nil pulse must fail")
+	}
+	if _, err := NewShapedEnvelope(QPSK.RandomSymbols(10, 1), p, true); err == nil {
+		t.Error("cyclic stream shorter than 2x span must fail")
+	}
+}
+
+func TestSetAvgPower(t *testing.T) {
+	ts := 100e-9
+	p, _ := NewSRRC(ts, 0.5, 8)
+	syms := QPSK.RandomSymbols(64, 7)
+	env, _ := NewShapedEnvelope(syms, p, true)
+	env.SetAvgPower(2.0, 2048)
+	if got := env.AvgPower(2048); math.Abs(got-2.0) > 0.02 {
+		t.Errorf("avg power %g, want 2", got)
+	}
+	// Degenerate: zero symbols vector cannot be scaled.
+	z, _ := NewShapedEnvelope(make([]complex128, 64), p, true)
+	z.SetAvgPower(1, 128)
+	if z.Gain != 1 {
+		t.Error("zero-power envelope should leave gain at 1")
+	}
+}
+
+func TestMatchedFilterRecoversQPSK(t *testing.T) {
+	ts := 100e-9
+	p, _ := NewSRRC(ts, 0.5, 8)
+	syms := QPSK.RandomSymbols(48, 21)
+	env, _ := NewShapedEnvelope(syms, p, true)
+	mf, err := NewMatchedFilter(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mf.Demod(env, 8, 24) // stay away from nothing: cyclic, any range ok
+	ref := syms[8:32]
+	norm, err := NormalizeScaleAndPhase(got, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EVM(norm, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSPercent > 3 {
+		t.Errorf("matched-filter EVM %.2f%%, want < 3%%", res.RMSPercent)
+	}
+	ser, err := SymbolErrorRate(QPSK, norm, ref)
+	if err != nil || ser != 0 {
+		t.Errorf("SER %g, err %v", ser, err)
+	}
+}
+
+func TestMatchedFilterValidation(t *testing.T) {
+	if _, err := NewMatchedFilter(nil, 8); err == nil {
+		t.Error("nil pulse must fail")
+	}
+	p, _ := NewSRRC(1, 0.5, 4)
+	mf, err := NewMatchedFilter(p, 0)
+	if err != nil || mf.Oversample != 16 {
+		t.Error("oversample default")
+	}
+}
+
+func TestEVMBasics(t *testing.T) {
+	ref := []complex128{1, 1i, -1, -1i}
+	meas := []complex128{1.1, 1i, -1, -1i}
+	res, err := EVM(meas, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RMSPercent-5) > 1e-9 {
+		t.Errorf("RMS EVM %g, want 5", res.RMSPercent)
+	}
+	if math.Abs(res.PeakPercent-10) > 1e-9 {
+		t.Errorf("peak EVM %g, want 10", res.PeakPercent)
+	}
+	if math.Abs(res.DB-20*math.Log10(0.05)) > 1e-9 {
+		t.Errorf("EVM dB %g", res.DB)
+	}
+	if _, err := EVM(meas[:2], ref); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := EVM(nil, nil); err == nil {
+		t.Error("empty must fail")
+	}
+	if _, err := EVM([]complex128{1}, []complex128{0}); err == nil {
+		t.Error("zero reference must fail")
+	}
+	perfect, _ := EVM(ref, ref)
+	if perfect.DB != -400 {
+		t.Error("perfect EVM should clamp dB")
+	}
+}
+
+func TestNormalizeScaleAndPhase(t *testing.T) {
+	ref := QPSK.RandomSymbols(32, 9)
+	g := complex(0.5, 0.5)
+	meas := make([]complex128, len(ref))
+	for i := range meas {
+		meas[i] = g * ref[i]
+	}
+	norm, err := NormalizeScaleAndPhase(meas, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range norm {
+		if cmplx.Abs(norm[i]-ref[i]) > 1e-12 {
+			t.Fatalf("normalisation failed at %d", i)
+		}
+	}
+	if _, err := NormalizeScaleAndPhase(meas[:1], ref); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := NormalizeScaleAndPhase([]complex128{0}, []complex128{0}); err == nil {
+		t.Error("degenerate must fail")
+	}
+}
+
+func TestSymbolErrorRateValidation(t *testing.T) {
+	if _, err := SymbolErrorRate(QPSK, nil, nil); err == nil {
+		t.Error("empty must fail")
+	}
+	ser, err := SymbolErrorRate(QPSK, []complex128{1 + 1i}, []complex128{-1 - 1i})
+	if err != nil || ser != 1 {
+		t.Errorf("ser %g err %v", ser, err)
+	}
+}

@@ -1,0 +1,142 @@
+package pnbs
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the Periodic (uniform first-order) Bandpass Sampling
+// baseline of Section II-A, following Vaughan, Scott & White ("The theory of
+// bandpass sampling", 1991): a band [fl, fh] can be sampled uniformly at fs
+// without aliasing iff
+//
+//	2 fh / n  <=  fs  <=  2 fl / (n - 1)
+//
+// for some integer 1 <= n <= floor(fh / B). Fig. 3 of the paper plots these
+// allowed wedges; package pnbs regenerates them.
+
+// RateWindow is one alias-free sampling-rate interval for a given wrap
+// factor N.
+type RateWindow struct {
+	// N is the Nyquist-zone wrap factor (n in the inequality above).
+	N int
+	// Lo and Hi bound the alias-free fs interval in Hz.
+	Lo, Hi float64
+}
+
+// Width returns the window width in Hz — the sampling-clock precision
+// budget available at this rate.
+func (w RateWindow) Width() float64 { return w.Hi - w.Lo }
+
+// AllowedWindows returns every alias-free uniform sampling window for the
+// band, ordered from the highest rate (n = 1, plain Nyquist-of-fh) down to
+// the minimal-rate window near 2B. The n = 1 window is unbounded above; its
+// Hi is +Inf.
+func AllowedWindows(band Band) ([]RateWindow, error) {
+	if _, err := NewBand(band.FLow, band.B); err != nil {
+		return nil, err
+	}
+	fl, fh := band.FLow, band.FHigh()
+	nMax := int(math.Floor(fh / band.B))
+	out := make([]RateWindow, 0, nMax)
+	for n := 1; n <= nMax; n++ {
+		lo := 2 * fh / float64(n)
+		hi := math.Inf(1)
+		if n > 1 {
+			hi = 2 * fl / float64(n-1)
+		}
+		if lo <= hi {
+			out = append(out, RateWindow{N: n, Lo: lo, Hi: hi})
+		}
+	}
+	return out, nil
+}
+
+// Aliases reports whether uniform sampling of the band at rate fs folds the
+// band onto itself (destructive aliasing).
+func Aliases(band Band, fs float64) (bool, error) {
+	if fs <= 0 {
+		return false, fmt.Errorf("pnbs: sampling rate %g must be positive", fs)
+	}
+	wins, err := AllowedWindows(band)
+	if err != nil {
+		return false, err
+	}
+	for _, w := range wins {
+		if fs >= w.Lo && fs <= w.Hi {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// WindowsInRange clips the allowed windows to [fsMin, fsMax], dropping empty
+// intersections. This regenerates Fig. 3b: the feasible subsampling rates
+// for fH = 2.03 GHz, B = 30 MHz between 60 and 100 MHz.
+func WindowsInRange(band Band, fsMin, fsMax float64) ([]RateWindow, error) {
+	if fsMin <= 0 || fsMax <= fsMin {
+		return nil, fmt.Errorf("pnbs: bad rate range [%g, %g]", fsMin, fsMax)
+	}
+	wins, err := AllowedWindows(band)
+	if err != nil {
+		return nil, err
+	}
+	var out []RateWindow
+	for _, w := range wins {
+		lo := math.Max(w.Lo, fsMin)
+		hi := math.Min(w.Hi, fsMax)
+		if lo <= hi {
+			out = append(out, RateWindow{N: w.N, Lo: lo, Hi: hi})
+		}
+	}
+	return out, nil
+}
+
+// MinAliasFreeRate returns the smallest alias-free uniform rate and its
+// window. The theoretical floor is 2B, achieved only for integer-positioned
+// bands.
+func MinAliasFreeRate(band Band) (RateWindow, error) {
+	wins, err := AllowedWindows(band)
+	if err != nil {
+		return RateWindow{}, err
+	}
+	best := wins[0]
+	for _, w := range wins[1:] {
+		if w.Lo < best.Lo {
+			best = w
+		}
+	}
+	return best, nil
+}
+
+// BoundaryCurves samples the normalised Fig. 3a wedge boundaries: for each
+// wrap factor n it returns the lower curve fs/B = 2 (fH/B) / n and upper
+// curve fs/B = 2 (fH/B - 1) / (n-1) across the given fH/B axis points. The
+// result maps n to a pair of slices [lower, upper] aligned with fhOverB.
+func BoundaryCurves(fhOverB []float64, nMax int) map[int][2][]float64 {
+	out := make(map[int][2][]float64, nMax)
+	for n := 1; n <= nMax; n++ {
+		lower := make([]float64, len(fhOverB))
+		upper := make([]float64, len(fhOverB))
+		for i, r := range fhOverB {
+			lower[i] = 2 * r / float64(n)
+			if n == 1 {
+				upper[i] = math.Inf(1)
+			} else {
+				upper[i] = 2 * (r - 1) / float64(n-1)
+			}
+		}
+		out[n] = [2][]float64{lower, upper}
+	}
+	return out
+}
+
+// RequiredClockPrecision summarises a window as the +- clock tolerance
+// around its centre, the quantity the paper uses to argue PBS is fragile
+// ("precision of few KHz" near the minimal rate).
+func RequiredClockPrecision(w RateWindow) float64 {
+	if math.IsInf(w.Hi, 1) {
+		return math.Inf(1)
+	}
+	return w.Width() / 2
+}

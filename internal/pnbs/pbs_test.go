@@ -1,0 +1,158 @@
+package pnbs
+
+import (
+	"math"
+	"testing"
+)
+
+// fig3bBand is the paper's Fig. 3b example: fH = 2.03 GHz, B = 30 MHz.
+func fig3bBand() Band {
+	return Band{FLow: 2e9, B: 30e6}
+}
+
+func TestAllowedWindowsStructure(t *testing.T) {
+	b := fig3bBand()
+	wins, err := AllowedWindows(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nMax = floor(2030/30) = 67.
+	if len(wins) == 0 || wins[len(wins)-1].N != 67 {
+		t.Fatalf("windows: %d entries, last n = %d", len(wins), wins[len(wins)-1].N)
+	}
+	// n = 1 window is [2 fH, +Inf).
+	if wins[0].N != 1 || wins[0].Lo != 2*b.FHigh() || !math.IsInf(wins[0].Hi, 1) {
+		t.Errorf("n=1 window %+v", wins[0])
+	}
+	// Windows are disjoint and ordered by decreasing rate.
+	for i := 1; i < len(wins); i++ {
+		if wins[i].Hi > wins[i-1].Lo+1e-6 {
+			t.Errorf("windows overlap: %+v then %+v", wins[i-1], wins[i])
+		}
+		if wins[i].Lo > wins[i].Hi {
+			t.Errorf("inverted window %+v", wins[i])
+		}
+	}
+}
+
+func TestFig3bWindowsMatchPaperNumbers(t *testing.T) {
+	b := fig3bBand()
+	wins, err := WindowsInRange(b, 60e6, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) == 0 {
+		t.Fatal("no windows in the Fig. 3b range")
+	}
+	// The window near 90 MHz (n = 45) must span [90.22, 90.91] MHz: a
+	// precision budget of "a few hundreds of kHz" (paper Section II-A).
+	var w90 *RateWindow
+	for i := range wins {
+		if wins[i].N == 45 {
+			w90 = &wins[i]
+		}
+	}
+	if w90 == nil {
+		t.Fatal("n = 45 window missing")
+	}
+	if math.Abs(w90.Lo-90.2222e6) > 1e3 || math.Abs(w90.Hi-90.9091e6) > 1e3 {
+		t.Errorf("n=45 window [%g, %g]", w90.Lo, w90.Hi)
+	}
+	if p := RequiredClockPrecision(*w90); p < 100e3 || p > 500e3 {
+		t.Errorf("clock precision near 90 MHz = %g Hz, want few hundred kHz", p)
+	}
+	// Near the minimal rate (n = 67, fs ~ 2B = 60 MHz) the budget drops to
+	// a few kHz.
+	last := wins[len(wins)-1]
+	if last.N != 67 {
+		t.Fatalf("last window n = %d", last.N)
+	}
+	if p := RequiredClockPrecision(last); p > 10e3 {
+		t.Errorf("clock precision at minimal rate = %g Hz, want few kHz", p)
+	}
+}
+
+func TestAliasesPredicate(t *testing.T) {
+	b := fig3bBand()
+	// 90.5 MHz sits inside the n=45 window: alias-free.
+	if a, err := Aliases(b, 90.5e6); err != nil || a {
+		t.Errorf("90.5 MHz should be alias-free (err %v)", err)
+	}
+	// 75 MHz falls between windows: aliases.
+	if a, err := Aliases(b, 75e6); err != nil || !a {
+		t.Errorf("75 MHz should alias (err %v)", err)
+	}
+	// Far above 2 fH: always alias-free.
+	if a, _ := Aliases(b, 5e9); a {
+		t.Error("oversampling should never alias")
+	}
+	if _, err := Aliases(b, 0); err == nil {
+		t.Error("fs=0 must fail")
+	}
+}
+
+func TestMinAliasFreeRate(t *testing.T) {
+	b := fig3bBand()
+	w, err := MinAliasFreeRate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimal rate just above 2B = 60 MHz.
+	if w.Lo < 2*b.B || w.Lo > 2.03*b.B {
+		t.Errorf("minimal rate %g, want just above %g", w.Lo, 2*b.B)
+	}
+	// PNBS needs exactly 2B total (2 channels x B): always below or equal
+	// to any alias-free PBS rate — the paper's flexibility argument.
+	if 2*b.B > w.Lo+1e-6 {
+		t.Error("PNBS total rate should not exceed the best PBS rate")
+	}
+}
+
+func TestWindowsInRangeValidation(t *testing.T) {
+	b := fig3bBand()
+	if _, err := WindowsInRange(b, 0, 1e6); err == nil {
+		t.Error("fsMin=0 must fail")
+	}
+	if _, err := WindowsInRange(b, 2e6, 1e6); err == nil {
+		t.Error("inverted range must fail")
+	}
+	if _, err := WindowsInRange(Band{}, 1, 2); err == nil {
+		t.Error("bad band must fail")
+	}
+}
+
+func TestBoundaryCurvesFig3a(t *testing.T) {
+	axis := []float64{1, 2, 3, 5, 7}
+	curves := BoundaryCurves(axis, 3)
+	if len(curves) != 3 {
+		t.Fatalf("%d curves", len(curves))
+	}
+	// n=1 lower boundary: fs/B = 2 fH/B; upper infinite.
+	c1 := curves[1]
+	for i, r := range axis {
+		if c1[0][i] != 2*r {
+			t.Errorf("n=1 lower at %g: %g", r, c1[0][i])
+		}
+		if !math.IsInf(c1[1][i], 1) {
+			t.Error("n=1 upper must be +Inf")
+		}
+	}
+	// n=2: lower fs/B = fH/B, upper 2(fH/B - 1).
+	c2 := curves[2]
+	for i, r := range axis {
+		if c2[0][i] != r || math.Abs(c2[1][i]-2*(r-1)) > 1e-12 {
+			t.Errorf("n=2 curves at %g: %g, %g", r, c2[0][i], c2[1][i])
+		}
+	}
+	// The wedge exists only when lower <= upper: at fH/B = 2 the n=2 wedge
+	// opens exactly (2 <= 2), consistent with Fig. 3a's vertex pattern.
+}
+
+func TestAllowedWindowsErrorPath(t *testing.T) {
+	if _, err := AllowedWindows(Band{}); err == nil {
+		t.Error("bad band must fail")
+	}
+	if _, err := MinAliasFreeRate(Band{}); err == nil {
+		t.Error("bad band must fail")
+	}
+}

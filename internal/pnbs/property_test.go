@@ -1,0 +1,134 @@
+package pnbs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomFeasibleBand draws a band and a stable delay from the generator.
+func randomFeasibleBand(rng *rand.Rand) (Band, float64) {
+	for {
+		band := Band{
+			FLow: 100e6 + rng.Float64()*2.9e9,
+			B:    10e6 + rng.Float64()*90e6,
+		}
+		d := band.OptimalD() * (0.5 + rng.Float64()) // [0.5, 1.5] x optimal
+		if _, err := NewKernel(band, d); err == nil {
+			return band, d
+		}
+	}
+}
+
+func TestKernelIdentitiesPropertyRandomBands(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		band, d := randomFeasibleBand(rng)
+		k, err := NewKernel(band, d)
+		if err != nil {
+			return false
+		}
+		// s(0) = 1.
+		if math.Abs(k.S(0)-1) > 1e-6 {
+			t.Logf("seed %d: s(0) = %g for band %+v d %g", seed, k.S(0), band, d)
+			return false
+		}
+		// s(mT) = 0 for m != 0.
+		for _, m := range []int{1, -2, 3, 7} {
+			if v := k.S(float64(m) * band.T()); math.Abs(v) > 1e-6 {
+				t.Logf("seed %d: s(%dT) = %g", seed, m, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstructionPropertyRandomBands(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		band, d := randomFeasibleBand(rng)
+		// Random in-band tone, ideal sampling, modest capture.
+		f0 := band.FLow + (0.1+0.8*rng.Float64())*band.B
+		ph := 2 * math.Pi * rng.Float64()
+		eval := func(tv float64) float64 { return math.Cos(2*math.Pi*f0*tv + ph) }
+		tt := band.T()
+		n := 200
+		ch0 := make([]float64, n)
+		ch1 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ch0[i] = eval(float64(i) * tt)
+			ch1[i] = eval(float64(i)*tt + d)
+		}
+		rec, err := NewReconstructor(band, d, 0, ch0, ch1, Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		lo, hi := rec.ValidRange()
+		worst := 0.0
+		for i := 0; i < 40; i++ {
+			tv := lo + (hi-lo)*rng.Float64()
+			if e := math.Abs(rec.At(tv) - eval(tv)); e > worst {
+				worst = e
+			}
+		}
+		if worst > 2e-2 {
+			t.Logf("seed %d: band %+v d %g: worst error %g", seed, band, d, worst)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEq4BoundPropertyRandomBands(t *testing.T) {
+	// DeltaDFor and SpectralErrorBound must stay exact inverses, and the
+	// bound must scale linearly in dD for every band.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		band, _ := randomFeasibleBand(rng)
+		rel := 0.001 + rng.Float64()*0.1
+		dd := DeltaDFor(band, rel)
+		if math.Abs(SpectralErrorBound(band, dd)-rel) > 1e-12 {
+			return false
+		}
+		return math.Abs(SpectralErrorBound(band, 2*dd)-2*rel) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPBSWindowsPropertyNoOverlapAndCoverMin(t *testing.T) {
+	// For random bands: windows are disjoint and 2B is a lower bound on
+	// every alias-free rate.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		band, _ := randomFeasibleBand(rng)
+		wins, err := AllowedWindows(band)
+		if err != nil || len(wins) == 0 {
+			return false
+		}
+		for i := 1; i < len(wins); i++ {
+			if wins[i].Hi > wins[i-1].Lo+1e-3 {
+				return false
+			}
+		}
+		for _, w := range wins {
+			if w.Lo < 2*band.B-1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/sig"
+)
+
+// AnalogFIR is a continuous-time FIR operating on envelopes: a tapped delay
+// line with tap spacing Dt seconds,
+//
+//	y(t) = sum_k h[k] x(t - k Dt),
+//
+// used to model the transmitter's baseband reconstruction lowpass after the
+// DAC. Because it is evaluated analytically it composes with the arbitrary-
+// instant sampling required by nonuniform capture.
+type AnalogFIR struct {
+	Taps []float64
+	Dt   float64
+}
+
+// NewAnalogLowpass designs a continuous lowpass with -6 dB cutoff fc (Hz)
+// realised as an FIR with tap spacing dt = 1/fsTap and attenuation attenDB.
+func NewAnalogLowpass(fc, fsTap, attenDB float64) (*AnalogFIR, error) {
+	if fc <= 0 || fsTap <= 0 {
+		return nil, fmt.Errorf("rf: analog lowpass needs positive fc/fsTap, got %g/%g", fc, fsTap)
+	}
+	cutoff := fc / fsTap
+	if cutoff >= 0.5 {
+		return nil, fmt.Errorf("rf: analog lowpass cutoff %g Hz not below fsTap/2 = %g", fc, fsTap/2)
+	}
+	beta := dsp.KaiserBeta(attenDB)
+	// Transition width: a quarter of the cutoff, bounded for sanity.
+	tw := cutoff / 4
+	if tw < 0.01 {
+		tw = 0.01
+	}
+	n := dsp.KaiserOrder(attenDB, tw) | 1 // odd length for integer group delay
+	f, err := dsp.DesignLowpass(n, cutoff, dsp.KaiserWin, beta)
+	if err != nil {
+		return nil, err
+	}
+	return &AnalogFIR{Taps: f.Taps, Dt: 1 / fsTap}, nil
+}
+
+// GroupDelay returns the filter delay in seconds.
+func (f *AnalogFIR) GroupDelay() float64 {
+	return float64(len(f.Taps)-1) / 2 * f.Dt
+}
+
+// ApplyEnv filters an envelope. The output is advanced by the group delay so
+// the filtered waveform stays time-aligned with its input.
+func (f *AnalogFIR) ApplyEnv(env sig.Envelope) sig.Envelope {
+	gd := f.GroupDelay()
+	taps := f.Taps
+	dt := f.Dt
+	return sig.EnvelopeFunc(func(t float64) complex128 {
+		var acc complex128
+		base := t + gd
+		for k, h := range taps {
+			acc += env.At(base-float64(k)*dt) * complex(h, 0)
+		}
+		return acc
+	})
+}
+
+// ResponseAt returns the filter's magnitude response (linear) at frequency
+// f Hz.
+func (f *AnalogFIR) ResponseAt(freq float64) float64 {
+	var re, im float64
+	for k, h := range f.Taps {
+		phi := -2 * math.Pi * freq * float64(k) * f.Dt
+		s, c := math.Sincos(phi)
+		re += h * c
+		im += h * s
+	}
+	return math.Hypot(re, im)
+}
+
+// ZOH models the zero-order hold of a DAC running at rate Fs: the envelope
+// is frozen at the most recent DAC update instant. Combined with an
+// AnalogFIR reconstruction filter it reproduces DAC sinc droop and images.
+type ZOH struct {
+	Fs float64
+}
+
+// ApplyEnv implements the hold.
+func (z *ZOH) ApplyEnv(env sig.Envelope) sig.Envelope {
+	ts := 1 / z.Fs
+	return sig.EnvelopeFunc(func(t float64) complex128 {
+		return env.At(math.Floor(t/ts) * ts)
+	})
+}

@@ -1,0 +1,166 @@
+// Package rf implements the behavioural model of the homodyne transmitter
+// that the BIST observes (paper Fig. 1): IQ modulator impairments, local
+// oscillator phase noise and leakage, analog reconstruction filtering, DAC
+// zero-order hold and power-amplifier nonlinearities. All blocks operate on
+// the baseband-equivalent complex envelope (standard passband behavioural
+// modelling), and the composed transmitter exposes the RF output as a
+// continuous-time signal evaluable at arbitrary instants.
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/sig"
+)
+
+// PA is a memoryless power-amplifier model acting on the complex envelope.
+// Memoryless baseband nonlinearities capture AM/AM and AM/PM conversion,
+// the mechanisms behind spectral regrowth at the PA output.
+type PA interface {
+	// Apply maps an instantaneous input envelope value to the output.
+	Apply(v complex128) complex128
+	// Describe returns a short human-readable model description.
+	Describe() string
+}
+
+// LinearPA is an ideal amplifier with a fixed complex gain.
+type LinearPA struct {
+	Gain complex128
+}
+
+// Apply implements PA.
+func (p *LinearPA) Apply(v complex128) complex128 { return p.Gain * v }
+
+// Describe implements PA.
+func (p *LinearPA) Describe() string { return fmt.Sprintf("linear(gain=%v)", p.Gain) }
+
+// RappPA is the Rapp solid-state PA model: pure AM/AM compression
+//
+//	|y| = G r / (1 + (G r / Vsat)^(2S))^(1/(2S))
+//
+// with smoothness S and output saturation Vsat. Phase is preserved.
+type RappPA struct {
+	Gain       float64 // small-signal gain
+	Vsat       float64 // output saturation amplitude
+	Smoothness float64 // knee sharpness S (typ. 1..3)
+}
+
+// NewRappPA validates and builds a Rapp model.
+func NewRappPA(gain, vsat, smoothness float64) (*RappPA, error) {
+	if gain <= 0 || vsat <= 0 || smoothness <= 0 {
+		return nil, fmt.Errorf("rf: Rapp PA needs positive gain/vsat/smoothness, got %g/%g/%g",
+			gain, vsat, smoothness)
+	}
+	return &RappPA{Gain: gain, Vsat: vsat, Smoothness: smoothness}, nil
+}
+
+// Apply implements PA.
+func (p *RappPA) Apply(v complex128) complex128 {
+	r := cmplx.Abs(v)
+	if r == 0 {
+		return 0
+	}
+	g := p.Gain * r
+	den := math.Pow(1+math.Pow(g/p.Vsat, 2*p.Smoothness), 1/(2*p.Smoothness))
+	return v * complex(p.Gain/den, 0)
+}
+
+// Describe implements PA.
+func (p *RappPA) Describe() string {
+	return fmt.Sprintf("rapp(G=%.3g, Vsat=%.3g, S=%.3g)", p.Gain, p.Vsat, p.Smoothness)
+}
+
+// SalehPA is the Saleh travelling-wave-tube model with both AM/AM and AM/PM:
+//
+//	A(r) = aA r / (1 + bA r^2),  Phi(r) = aP r^2 / (1 + bP r^2).
+type SalehPA struct {
+	AlphaA, BetaA float64
+	AlphaP, BetaP float64
+}
+
+// NewSalehPA builds the classic Saleh model; the canonical parameter set
+// (2.1587, 1.1517, 4.0033, 9.1040) is used when all arguments are zero.
+func NewSalehPA(aA, bA, aP, bP float64) *SalehPA {
+	if aA == 0 && bA == 0 && aP == 0 && bP == 0 {
+		return &SalehPA{AlphaA: 2.1587, BetaA: 1.1517, AlphaP: 4.0033, BetaP: 9.1040}
+	}
+	return &SalehPA{AlphaA: aA, BetaA: bA, AlphaP: aP, BetaP: bP}
+}
+
+// Apply implements PA.
+func (p *SalehPA) Apply(v complex128) complex128 {
+	r := cmplx.Abs(v)
+	if r == 0 {
+		return 0
+	}
+	amp := p.AlphaA * r / (1 + p.BetaA*r*r)
+	phi := p.AlphaP * r * r / (1 + p.BetaP*r*r)
+	theta := math.Atan2(imag(v), real(v)) + phi
+	s, c := math.Sincos(theta)
+	return complex(amp*c, amp*s)
+}
+
+// Describe implements PA.
+func (p *SalehPA) Describe() string {
+	return fmt.Sprintf("saleh(aA=%.3g, bA=%.3g, aP=%.3g, bP=%.3g)",
+		p.AlphaA, p.BetaA, p.AlphaP, p.BetaP)
+}
+
+// PolyPA is an odd-order baseband polynomial model
+// y = a1 v + a3 v |v|^2 + a5 v |v|^4 with complex coefficients, the standard
+// form for fitting measured AM/AM-AM/PM curves.
+type PolyPA struct {
+	A1, A3, A5 complex128
+}
+
+// Apply implements PA.
+func (p *PolyPA) Apply(v complex128) complex128 {
+	r2 := real(v)*real(v) + imag(v)*imag(v)
+	return v * (p.A1 + p.A3*complex(r2, 0) + p.A5*complex(r2*r2, 0))
+}
+
+// Describe implements PA.
+func (p *PolyPA) Describe() string {
+	return fmt.Sprintf("poly(a1=%v, a3=%v, a5=%v)", p.A1, p.A3, p.A5)
+}
+
+// ApplyPA lifts a PA model to a whole envelope.
+func ApplyPA(p PA, env sig.Envelope) sig.Envelope {
+	return sig.EnvelopeFunc(func(t float64) complex128 { return p.Apply(env.At(t)) })
+}
+
+// GainAt returns the power gain (output/input, linear) of the PA at input
+// amplitude r.
+func GainAt(p PA, r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	out := cmplx.Abs(p.Apply(complex(r, 0)))
+	return (out / r) * (out / r)
+}
+
+// InputP1dB searches for the input amplitude at which the PA gain has
+// compressed by 1 dB from its small-signal value. It returns 0 when the
+// model never compresses within the searched range.
+func InputP1dB(p PA) float64 {
+	small := GainAt(p, 1e-6)
+	if small <= 0 {
+		return 0
+	}
+	target := small * math.Pow(10, -0.1) // -1 dB
+	lo, hi := 1e-6, 1e6
+	if GainAt(p, hi) > target {
+		return 0
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		if GainAt(p, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

@@ -1,0 +1,110 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sig"
+)
+
+// PhaseNoise models local-oscillator phase noise as a sum of random-phase
+// sinusoidal phase modulations whose amplitudes realise a target single-
+// sideband PSD L(f) specified in dBc/Hz at given frequency offsets. Between
+// the specification points the PSD is interpolated log-log, the classical
+// piecewise-linear phase-noise mask.
+type PhaseNoise struct {
+	freqs  []float64
+	amps   []float64 // peak phase deviation per tone, radians
+	phases []float64
+}
+
+// NewPhaseNoise builds a phase-noise process from a mask of (offset Hz,
+// dBc/Hz) points, realised with nTones log-spaced tones between the first
+// and last offsets. For small phase deviations, a tone of peak deviation
+// b at offset f contributes L(f) = (b/2)^2 / bin to the SSB PSD; the tone
+// amplitudes integrate the mask over each log-spaced bin.
+func NewPhaseNoise(offsets, dBcHz []float64, nTones int, seed int64) (*PhaseNoise, error) {
+	if len(offsets) != len(dBcHz) || len(offsets) < 2 {
+		return nil, fmt.Errorf("rf: phase noise mask needs >= 2 matching points, got %d/%d",
+			len(offsets), len(dBcHz))
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] <= offsets[i-1] {
+			return nil, fmt.Errorf("rf: phase noise offsets must increase")
+		}
+	}
+	if offsets[0] <= 0 {
+		return nil, fmt.Errorf("rf: phase noise offsets must be positive")
+	}
+	if nTones < 2 {
+		nTones = 64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pn := &PhaseNoise{
+		freqs:  make([]float64, nTones),
+		amps:   make([]float64, nTones),
+		phases: make([]float64, nTones),
+	}
+	logLo := math.Log(offsets[0])
+	logHi := math.Log(offsets[len(offsets)-1])
+	for i := 0; i < nTones; i++ {
+		l0 := logLo + (logHi-logLo)*float64(i)/float64(nTones)
+		l1 := logLo + (logHi-logLo)*float64(i+1)/float64(nTones)
+		f := math.Exp((l0 + l1) / 2)
+		binW := math.Exp(l1) - math.Exp(l0)
+		lf := interpMaskDB(offsets, dBcHz, f)
+		// SSB power in the bin: 10^(L/10) * binW; tone phase deviation b
+		// satisfies (b/2)^2 = bin power (two sidebands carry b^2/4 each).
+		p := math.Pow(10, lf/10) * binW
+		pn.freqs[i] = f
+		pn.amps[i] = 2 * math.Sqrt(p)
+		pn.phases[i] = 2 * math.Pi * rng.Float64()
+	}
+	return pn, nil
+}
+
+// interpMaskDB interpolates the mask in dB over log-frequency.
+func interpMaskDB(offsets, dBcHz []float64, f float64) float64 {
+	if f <= offsets[0] {
+		return dBcHz[0]
+	}
+	n := len(offsets)
+	if f >= offsets[n-1] {
+		return dBcHz[n-1]
+	}
+	for i := 1; i < n; i++ {
+		if f <= offsets[i] {
+			x0, x1 := math.Log(offsets[i-1]), math.Log(offsets[i])
+			w := (math.Log(f) - x0) / (x1 - x0)
+			return dBcHz[i-1] + w*(dBcHz[i]-dBcHz[i-1])
+		}
+	}
+	return dBcHz[n-1]
+}
+
+// Phi returns the instantaneous phase deviation in radians at time t.
+func (pn *PhaseNoise) Phi(t float64) float64 {
+	v := 0.0
+	for i, f := range pn.freqs {
+		v += pn.amps[i] * math.Cos(2*math.Pi*f*t+pn.phases[i])
+	}
+	return v
+}
+
+// RMSRadians estimates the integrated RMS phase deviation.
+func (pn *PhaseNoise) RMSRadians() float64 {
+	v := 0.0
+	for _, a := range pn.amps {
+		v += a * a / 2
+	}
+	return math.Sqrt(v)
+}
+
+// ApplyEnv rotates an envelope by the instantaneous phase-noise process.
+func (pn *PhaseNoise) ApplyEnv(env sig.Envelope) sig.Envelope {
+	return sig.EnvelopeFunc(func(t float64) complex128 {
+		s, c := math.Sincos(pn.Phi(t))
+		return env.At(t) * complex(c, s)
+	})
+}

@@ -1,0 +1,19 @@
+package rf
+
+import (
+	"math/rand"
+
+	"repro/internal/dsp"
+)
+
+// lowpassForDecimation designs the anti-image filter used before an
+// integer decimation by the given factor.
+func lowpassForDecimation(factor int) (*dsp.FIR, error) {
+	return dsp.DesignLowpass(91, 0.45/float64(factor), dsp.KaiserWin, dsp.KaiserBeta(70))
+}
+
+// newSeededNorm returns a deterministic standard-normal generator.
+func newSeededNorm(seed int64) func() float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.NormFloat64
+}

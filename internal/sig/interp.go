@@ -1,0 +1,59 @@
+package sig
+
+import (
+	"fmt"
+	"math"
+)
+
+// SampledEnvelope adapts a uniformly sampled complex sequence back to the
+// continuous Envelope interface with Catmull-Rom cubic interpolation. It is
+// used to feed reconstructed (discrete) envelopes into continuous-time
+// consumers such as the matched-filter demodulator. Accuracy is excellent
+// when the sequence oversamples its content by >= 4x.
+type SampledEnvelope struct {
+	// T0 is the time of sample 0; Dt the sample spacing.
+	T0, Dt float64
+	// Samples holds the envelope values.
+	Samples []complex128
+}
+
+// NewSampledEnvelope validates and wraps a sampled envelope.
+func NewSampledEnvelope(t0, dt float64, samples []complex128) (*SampledEnvelope, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("sig: sampled envelope needs dt > 0, got %g", dt)
+	}
+	if len(samples) < 4 {
+		return nil, fmt.Errorf("sig: sampled envelope needs >= 4 samples, got %d", len(samples))
+	}
+	return &SampledEnvelope{T0: t0, Dt: dt, Samples: samples}, nil
+}
+
+// Span returns the time interval over which interpolation is supported.
+func (s *SampledEnvelope) Span() (lo, hi float64) {
+	return s.T0 + s.Dt, s.T0 + float64(len(s.Samples)-2)*s.Dt
+}
+
+// At implements Envelope. Outside the supported span it returns 0.
+func (s *SampledEnvelope) At(t float64) complex128 {
+	x := (t - s.T0) / s.Dt
+	i := int(math.Floor(x))
+	if i+2 == len(s.Samples) && x-float64(i) < 1e-12 {
+		// Exactly the last supported grid point.
+		return s.Samples[i]
+	}
+	if i < 1 || i+2 >= len(s.Samples) {
+		return 0
+	}
+	f := x - float64(i)
+	p0 := s.Samples[i-1]
+	p1 := s.Samples[i]
+	p2 := s.Samples[i+1]
+	p3 := s.Samples[i+2]
+	// Catmull-Rom spline.
+	ff := complex(f, 0)
+	a := p1
+	b := (p2 - p0) * 0.5
+	c := p0 - p1*2.5 + p2*2 - p3*0.5
+	d := (p3 - p0 + (p1-p2)*3) * 0.5
+	return a + ff*(b+ff*(c+ff*d))
+}

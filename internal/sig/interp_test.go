@@ -1,0 +1,70 @@
+package sig
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestSampledEnvelopeValidation(t *testing.T) {
+	if _, err := NewSampledEnvelope(0, 0, make([]complex128, 8)); err == nil {
+		t.Error("dt=0 must fail")
+	}
+	if _, err := NewSampledEnvelope(0, 1, make([]complex128, 3)); err == nil {
+		t.Error("too few samples must fail")
+	}
+}
+
+func TestSampledEnvelopeInterpolatesOversampledTone(t *testing.T) {
+	// 8x oversampled complex tone: Catmull-Rom should track to < 1 %.
+	f0 := 1e6
+	fs := 8e6
+	n := 256
+	xs := make([]complex128, n)
+	for i := range xs {
+		ph := 2 * math.Pi * f0 * float64(i) / fs
+		s, c := math.Sincos(ph)
+		xs[i] = complex(c, s)
+	}
+	env, err := NewSampledEnvelope(0, 1/fs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := env.Span()
+	worst := 0.0
+	for i := 0; i < 500; i++ {
+		tv := lo + (hi-lo)*float64(i)/499
+		ph := 2 * math.Pi * f0 * tv
+		s, c := math.Sincos(ph)
+		want := complex(c, s)
+		if d := cmplx.Abs(env.At(tv) - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.01 {
+		t.Errorf("interpolation error %g", worst)
+	}
+}
+
+func TestSampledEnvelopeExactOnGrid(t *testing.T) {
+	xs := []complex128{1, 2i, 3, -4i, 5, 6}
+	env, _ := NewSampledEnvelope(10, 0.5, xs)
+	// Interior grid points are reproduced exactly by Catmull-Rom.
+	for i := 1; i <= 3; i++ {
+		tv := 10 + 0.5*float64(i)
+		if env.At(tv) != xs[i] {
+			t.Errorf("grid point %d: %v != %v", i, env.At(tv), xs[i])
+		}
+	}
+}
+
+func TestSampledEnvelopeOutsideSpanIsZero(t *testing.T) {
+	env, _ := NewSampledEnvelope(0, 1, make([]complex128, 8))
+	if env.At(-5) != 0 || env.At(100) != 0 {
+		t.Error("outside span must be zero")
+	}
+	lo, hi := env.Span()
+	if lo != 1 || hi != 6 {
+		t.Errorf("span [%g, %g]", lo, hi)
+	}
+}

@@ -1,0 +1,182 @@
+package skew
+
+import (
+	"fmt"
+	"math"
+)
+
+// LMSConfig parameterises Algorithm 1.
+type LMSConfig struct {
+	// Mu0 is the initial step size in seconds (paper: 1e-12). 0 defaults to
+	// 1 ps.
+	Mu0 float64
+	// MaxIter bounds the outer iterations. 0 defaults to 50.
+	MaxIter int
+	// TolStep terminates when the adapted step shrinks below this value
+	// (delay resolution achieved). 0 defaults to 0.01 ps.
+	TolStep float64
+	// TolCost optionally terminates when the cost falls below it (0 = off).
+	TolCost float64
+	// DMin and DMax bound the search; the caller normally passes
+	// ]margin, m - margin[ per Section IV-A.
+	DMin, DMax float64
+}
+
+func (c LMSConfig) withDefaults() LMSConfig {
+	if c.Mu0 == 0 {
+		c.Mu0 = 1e-12
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 50
+	}
+	if c.TolStep == 0 {
+		c.TolStep = 1e-14
+	}
+	return c
+}
+
+// LMSResult reports the estimation outcome.
+type LMSResult struct {
+	// DHat is the final delay estimate.
+	DHat float64
+	// Iterations is the number of outer iterations executed.
+	Iterations int
+	// Converged indicates termination by step/cost tolerance rather than
+	// the iteration cap.
+	Converged bool
+	// CostHistory and DHistory trace the optimisation (Fig. 6 data).
+	CostHistory []float64
+	DHistory    []float64
+	// CostEvals counts objective evaluations (the paper's noted drawback:
+	// "relatively high computational effort").
+	CostEvals int
+}
+
+// CostFunc evaluates the objective at a candidate delay.
+type CostFunc func(dHat float64) (float64, error)
+
+// EstimateLMS runs the paper's Algorithm 1: a normalized LMS descent on the
+// dual-rate cost with a numerically estimated gradient
+// grad_i = (eps_i - eps_{i-1}) / (D_i - D_{i-1}) and variable step size —
+// halved (and the move retried) whenever the cost would increase, doubled
+// after every accepted move. Normalisation reduces the scalar update to a
+// signed step of magnitude mu, which makes mu directly interpretable in
+// seconds.
+func EstimateLMS(cost CostFunc, d0 float64, cfg LMSConfig) (LMSResult, error) {
+	c := cfg.withDefaults()
+	if c.DMax <= c.DMin {
+		return LMSResult{}, fmt.Errorf("skew: LMS bounds [%g, %g] invalid", c.DMin, c.DMax)
+	}
+	clamp := func(d float64) float64 {
+		if d < c.DMin {
+			return c.DMin
+		}
+		if d > c.DMax {
+			return c.DMax
+		}
+		return d
+	}
+	d0 = clamp(d0)
+	res := LMSResult{}
+	evals := 0
+	eval := func(d float64) (float64, error) {
+		evals++
+		return cost(d)
+	}
+	epsPrev, err := eval(d0)
+	if err != nil {
+		return res, fmt.Errorf("skew: LMS initial cost: %w", err)
+	}
+	// Bootstrap the finite difference with a one-step probe.
+	mu := c.Mu0
+	d := clamp(d0 + mu)
+	if d == d0 {
+		d = clamp(d0 - mu)
+	}
+	eps, err := eval(d)
+	if err != nil {
+		return res, fmt.Errorf("skew: LMS probe cost: %w", err)
+	}
+	res.DHistory = append(res.DHistory, d0, d)
+	res.CostHistory = append(res.CostHistory, epsPrev, eps)
+	dPrev := d0
+	for iter := 0; iter < c.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		if c.TolCost > 0 && eps < c.TolCost {
+			res.Converged = true
+			break
+		}
+		grad := 0.0
+		if d != dPrev {
+			grad = (eps - epsPrev) / (d - dPrev)
+		}
+		dir := -1.0
+		if grad <= 0 {
+			dir = 1.0 // descend along -grad; flat: probe forward
+		}
+		// Step 3-5: shrink mu until the move decreases the cost. The secant
+		// gradient can point the wrong way right after a step across the
+		// minimum, so when one direction fails entirely the search retries
+		// the opposite direction before declaring convergence.
+		accepted := false
+		muEntry := mu
+		for attempt := 0; attempt < 2 && !accepted; attempt++ {
+			mu = muEntry
+			for mu >= c.TolStep {
+				dNext := clamp(d + dir*mu)
+				epsNext, err := eval(dNext)
+				if err != nil {
+					return res, fmt.Errorf("skew: LMS cost at %g: %w", dNext, err)
+				}
+				if epsNext < eps {
+					dPrev, epsPrev = d, eps
+					d, eps = dNext, epsNext
+					res.DHistory = append(res.DHistory, d)
+					res.CostHistory = append(res.CostHistory, eps)
+					accepted = true
+					break
+				}
+				mu /= 2
+			}
+			dir = -dir
+		}
+		if !accepted {
+			res.Converged = true
+			break
+		}
+		mu *= 2 // Step 6
+	}
+	res.DHat = d
+	res.CostEvals = evals
+	return res, nil
+}
+
+// Estimate runs Algorithm 1 against a CostEvaluator with sensible bounds:
+// the search interval is ]margin, m - margin[ with margin = m/1000.
+func Estimate(ce *CostEvaluator, d0 float64, cfg LMSConfig) (LMSResult, error) {
+	m := ce.M()
+	if cfg.DMin == 0 && cfg.DMax == 0 {
+		cfg.DMin = m / 1000
+		cfg.DMax = m * 0.999
+	}
+	return EstimateLMS(ce.Cost, d0, cfg)
+}
+
+// CostCurve samples the cost function over nPts delays spanning [dLo, dHi]
+// (Fig. 5 data). Errors at individual points (e.g. kernel instability) are
+// recorded as NaN.
+func CostCurve(ce *CostEvaluator, dLo, dHi float64, nPts int) (ds, costs []float64) {
+	ds = make([]float64, nPts)
+	costs = make([]float64, nPts)
+	for i := 0; i < nPts; i++ {
+		d := dLo + (dHi-dLo)*float64(i)/float64(nPts-1)
+		ds[i] = d
+		v, err := ce.Cost(d)
+		if err != nil {
+			costs[i] = math.NaN()
+			continue
+		}
+		costs[i] = v
+	}
+	return ds, costs
+}

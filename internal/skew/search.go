@@ -1,0 +1,100 @@
+package skew
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides alternative minimisers for the dual-rate cost. The
+// paper's Section IV-A theorem guarantees the cost has a single minimum in
+// ]0, m[ under the Eq. (9) conditions, which makes bracketing methods
+// applicable; they serve as ablation baselines quantifying Algorithm 1's
+// "relatively high computational effort" remark.
+
+// GoldenResult reports a golden-section search outcome.
+type GoldenResult struct {
+	DHat      float64
+	CostEvals int
+	// Cost is the objective value at DHat.
+	Cost float64
+}
+
+// GoldenSection minimises the cost over [lo, hi] to the absolute delay
+// tolerance tol using golden-section search. Unlike Algorithm 1 it needs
+// no starting estimate or step-size parameter, but it relies on strict
+// unimodality over the bracket.
+func GoldenSection(cost CostFunc, lo, hi, tol float64) (GoldenResult, error) {
+	if hi <= lo {
+		return GoldenResult{}, fmt.Errorf("skew: golden section bracket [%g, %g] invalid", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-14
+	}
+	const phi = 0.6180339887498949 // (sqrt(5)-1)/2
+	evals := 0
+	eval := func(d float64) (float64, error) {
+		evals++
+		return cost(d)
+	}
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, err := eval(x1)
+	if err != nil {
+		return GoldenResult{}, err
+	}
+	f2, err := eval(x2)
+	if err != nil {
+		return GoldenResult{}, err
+	}
+	for b-a > tol {
+		if f1 <= f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			if f1, err = eval(x1); err != nil {
+				return GoldenResult{}, err
+			}
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			if f2, err = eval(x2); err != nil {
+				return GoldenResult{}, err
+			}
+		}
+	}
+	d := (a + b) / 2
+	fd := math.Min(f1, f2)
+	return GoldenResult{DHat: d, CostEvals: evals, Cost: fd}, nil
+}
+
+// ParabolicRefine performs one parabolic (three-point quadratic) refinement
+// of a delay estimate: it evaluates the cost at d-h, d, d+h and returns the
+// vertex of the fitted parabola. Used to squeeze the final fraction of a
+// picosecond out of either search.
+func ParabolicRefine(cost CostFunc, d, h float64) (float64, error) {
+	if h <= 0 {
+		return 0, fmt.Errorf("skew: parabolic refine needs h > 0")
+	}
+	fm, err := cost(d - h)
+	if err != nil {
+		return 0, err
+	}
+	f0, err := cost(d)
+	if err != nil {
+		return 0, err
+	}
+	fp, err := cost(d + h)
+	if err != nil {
+		return 0, err
+	}
+	den := fm - 2*f0 + fp
+	if den <= 0 {
+		// Not convex at this scale; keep the input.
+		return d, nil
+	}
+	shift := 0.5 * h * (fm - fp) / den
+	if math.Abs(shift) > h {
+		shift = math.Copysign(h, shift)
+	}
+	return d + shift, nil
+}

@@ -1,0 +1,127 @@
+package skew
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pnbs"
+)
+
+func TestGoldenSectionOnQuadratic(t *testing.T) {
+	cost := func(d float64) (float64, error) { return (d - 3.7) * (d - 3.7), nil }
+	res, err := GoldenSection(cost, 0, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DHat-3.7) > 1e-8 {
+		t.Errorf("minimum at %g", res.DHat)
+	}
+	if res.CostEvals <= 0 || res.Cost > 1e-15 {
+		t.Errorf("bookkeeping: %d evals, cost %g", res.CostEvals, res.Cost)
+	}
+	if _, err := GoldenSection(cost, 5, 5, 1e-9); err == nil {
+		t.Error("empty bracket must fail")
+	}
+}
+
+func TestGoldenSectionMatchesLMSOnPaperCost(t *testing.T) {
+	d := 180e-12
+	ce := paperEvaluator(t, d)
+	m := ce.M()
+	gold, err := GoldenSection(ce.Cost, m/1000, m*0.999, 0.05e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lms, err := Estimate(ce, 100e-12, LMSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must land on the same minimum (within the search tolerances).
+	if math.Abs(gold.DHat-lms.DHat) > 1e-12 {
+		t.Errorf("golden %g vs LMS %g", gold.DHat, lms.DHat)
+	}
+	if math.Abs(gold.DHat-d) > 1e-12 {
+		t.Errorf("golden section missed the delay: %g", gold.DHat)
+	}
+	// Ablation claim: for a single run from a reasonable start, both need
+	// tens of cost evaluations; neither should be pathological.
+	if gold.CostEvals > 120 || lms.CostEvals > 200 {
+		t.Errorf("excessive evals: golden %d, LMS %d", gold.CostEvals, lms.CostEvals)
+	}
+}
+
+func TestParabolicRefineImprovesEstimate(t *testing.T) {
+	// Smooth quartic-ish bowl with a known vertex.
+	cost := func(d float64) (float64, error) {
+		x := d - 2.5
+		return x*x + 0.1*x*x*x*x, nil
+	}
+	got, err := ParabolicRefine(cost, 2.45, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 5e-3 {
+		t.Errorf("refined to %g", got)
+	}
+	if _, err := ParabolicRefine(cost, 1, 0); err == nil {
+		t.Error("h=0 must fail")
+	}
+	// Concave region: refinement must not move.
+	conc := func(d float64) (float64, error) { return -d * d, nil }
+	if got, _ := ParabolicRefine(conc, 1, 0.1); got != 1 {
+		t.Errorf("concave case moved to %g", got)
+	}
+	// Shift clamping: an extreme asymmetry cannot jump more than h.
+	steep := func(d float64) (float64, error) {
+		if d < 1 {
+			return 100, nil
+		}
+		return d, nil
+	}
+	got, _ = ParabolicRefine(steep, 1.05, 0.1)
+	if math.Abs(got-1.05) > 0.1+1e-12 {
+		t.Errorf("shift not clamped: %g", got)
+	}
+}
+
+func TestMultiCostValidationAndAveraging(t *testing.T) {
+	d := 180e-12
+	ce1 := paperEvaluator(t, d)
+	ce2 := paperEvaluator(t, d)
+	if _, err := NewMultiCost(nil); err == nil {
+		t.Error("empty evaluator list must fail")
+	}
+	mc, err := NewMultiCost([]*CostEvaluator{ce1, ce2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.K() != 2 || mc.M() != ce1.M() {
+		t.Error("accessors")
+	}
+	// The average of two identical costs equals the single cost.
+	v1, _ := ce1.Cost(150e-12)
+	vm, err := mc.Cost(150e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vm-v1) > 1e-15 {
+		t.Errorf("averaged cost %g vs %g", vm, v1)
+	}
+	res, err := EstimateMulti(mc, 100e-12, LMSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DHat-d) > 0.5e-12 {
+		t.Errorf("multi estimate %.3f ps off", (res.DHat-d)*1e12)
+	}
+	// Mismatched geometry rejected.
+	other := idealSet(pnbs.Band{FLow: 805e6, B: 72e6}, 0, d, 220)
+	otherB1 := idealSet(HalfRateBand(pnbs.Band{FLow: 805e6, B: 72e6}), -300e-9, d, 130)
+	ce3, err := NewCostEvaluator(other, otherB1, ce1.Times(), pnbs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultiCost([]*CostEvaluator{ce1, ce3}); err == nil {
+		t.Error("mismatched geometry must fail")
+	}
+}

@@ -1,0 +1,159 @@
+package tiadc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adc"
+	"repro/internal/sig"
+)
+
+func TestDCDESetQuantizationAndBias(t *testing.T) {
+	d := DCDE{Step: 1e-12, Min: 0, Max: 500e-12, Bias: 0.3e-12}
+	got, err := d.Set(180.4e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-180.3e-12) > 1e-18 {
+		t.Errorf("actual delay %g, want 180.3 ps", got)
+	}
+	if _, err := d.Set(600e-12); err == nil {
+		t.Error("out-of-range delay must fail")
+	}
+	if _, err := d.Set(-1e-12); err == nil {
+		t.Error("below range must fail")
+	}
+	// Continuous element: no quantization.
+	c := DCDE{Min: 0, Max: 1e-9}
+	if got, _ := c.Set(123.456e-12); got != 123.456e-12 {
+		t.Errorf("continuous DCDE altered the delay: %g", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{DCDE: DCDE{Min: 1, Max: 0}}); err == nil {
+		t.Error("inverted DCDE range must fail")
+	}
+	if _, err := New(Config{ClockJitterRMS: -1}); err == nil {
+		t.Error("negative jitter must fail")
+	}
+	if _, err := New(Config{Ch0: adc.Config{Bits: -3}}); err == nil {
+		t.Error("bad channel 0 must fail")
+	}
+	if _, err := New(Config{Ch1: adc.Config{Bits: 99}}); err == nil {
+		t.Error("bad channel 1 must fail")
+	}
+}
+
+func TestCaptureIdealChannels(t *testing.T) {
+	ti, err := New(Config{DCDE: DCDE{Min: 0, Max: 1e-9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tone := &sig.Tone{Amp: 1, Freq: 13e6}
+	period := 1e-8
+	d := 180e-12
+	cap, err := ti.Capture(tone, period, d, 1e-7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.N() != 64 || cap.ActualD != d || cap.NominalD != d {
+		t.Fatalf("capture metadata: %+v", cap)
+	}
+	t0s := cap.Times0()
+	t1s := cap.Times1(d)
+	for i := 0; i < cap.N(); i++ {
+		if math.Abs(cap.Ch0[i]-tone.At(t0s[i])) > 1e-12 {
+			t.Fatalf("ch0[%d] mismatch", i)
+		}
+		if math.Abs(cap.Ch1[i]-tone.At(t1s[i])) > 1e-12 {
+			t.Fatalf("ch1[%d] mismatch", i)
+		}
+	}
+}
+
+func TestCaptureAppliesDCDEBias(t *testing.T) {
+	bias := 2.5e-12
+	ti, _ := New(Config{DCDE: DCDE{Min: 0, Max: 1e-9, Bias: bias}})
+	ramp := sig.SignalFunc(func(t float64) float64 { return t * 1e9 })
+	cap, err := ti.Capture(ramp, 1e-8, 100e-12, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cap.ActualD-(100e-12+bias)) > 1e-20 {
+		t.Errorf("actual delay %g", cap.ActualD)
+	}
+	// Channel 1 samples the ramp later by the *actual* delay.
+	for i := range cap.Ch1 {
+		dt := (cap.Ch1[i] - cap.Ch0[i]) / 1e9
+		if math.Abs(dt-cap.ActualD) > 1e-18 {
+			t.Fatalf("sample %d: measured delay %g", i, dt)
+		}
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	ti, _ := New(Config{DCDE: DCDE{Min: 0, Max: 1e-9}})
+	x := sig.Zero
+	if _, err := ti.Capture(x, 0, 1e-10, 0, 4); err == nil {
+		t.Error("zero period must fail")
+	}
+	if _, err := ti.Capture(x, 1e-8, 1e-10, 0, 0); err == nil {
+		t.Error("zero length must fail")
+	}
+	if _, err := ti.Capture(x, 1e-8, 5e-9, 0, 4); err == nil {
+		t.Error("delay outside DCDE must fail")
+	}
+}
+
+func TestCaptureChannelMismatchVisible(t *testing.T) {
+	ti, err := New(Config{
+		Ch0:  adc.Config{Gain: 1.05, Offset: 0.01},
+		Ch1:  adc.Config{Gain: 0.95, Offset: -0.01},
+		DCDE: DCDE{Min: 0, Max: 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := sig.SignalFunc(func(float64) float64 { return 1 })
+	cap, _ := ti.Capture(dc, 1e-8, 0, 0, 2)
+	if math.Abs(cap.Ch0[0]-1.06) > 1e-12 || math.Abs(cap.Ch1[0]-0.94) > 1e-12 {
+		t.Errorf("mismatch not applied: %g, %g", cap.Ch0[0], cap.Ch1[0])
+	}
+}
+
+func TestCaptureClockJitterReproducible(t *testing.T) {
+	mk := func(seed int64) *Capture {
+		ti, _ := New(Config{DCDE: DCDE{Min: 0, Max: 1e-9}, ClockJitterRMS: 3e-12, Seed: seed})
+		cap, _ := ti.Capture(&sig.Tone{Amp: 1, Freq: 1e9}, 1.111e-8, 180e-12, 0, 32)
+		return cap
+	}
+	a, b, c := mk(4), mk(4), mk(5)
+	for i := range a.Ch0 {
+		if a.Ch0[i] != b.Ch0[i] || a.Ch1[i] != b.Ch1[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	same := true
+	for i := range a.Ch0 {
+		if a.Ch0[i] != c.Ch0[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestChannelAccessor(t *testing.T) {
+	ti, _ := New(Config{DCDE: DCDE{Min: 0, Max: 1e-9}})
+	if _, err := ti.Channel(0); err != nil {
+		t.Error(err)
+	}
+	if _, err := ti.Channel(1); err != nil {
+		t.Error(err)
+	}
+	if _, err := ti.Channel(2); err == nil {
+		t.Error("channel 2 must fail")
+	}
+}
