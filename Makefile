@@ -1,0 +1,36 @@
+# Tier-1 verification and benchmark harness.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench bench-hot
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the par-pool paths (cost instants, sweeps, yield units)
+# under the race detector.
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet + race.
+check: vet race
+
+# bench regenerates every paper artifact and kernel benchmark with
+# allocation stats. Compare against BENCH_baseline.json (recorded with
+# -benchtime=3x on the seed revision).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# bench-hot is the fast subset covering the LMS hot path and the paper's
+# headline artifacts, with the baseline's -benchtime for comparability.
+bench-hot:
+	$(GO) test -run='^$$' -benchtime=3x -benchmem \
+		-bench='BenchmarkFig5$$|BenchmarkFig6$$|BenchmarkTable1$$|BenchmarkCostEvaluation$$|BenchmarkReconstructorAt61Taps$$|BenchmarkKaiserWindow$$|BenchmarkYield$$' .

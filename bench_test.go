@@ -18,6 +18,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/modem"
+	"repro/internal/par"
 	"repro/internal/pnbs"
 	"repro/internal/skew"
 )
@@ -208,6 +209,42 @@ func BenchmarkCostEvaluation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkReconstructorRetune measures the in-place candidate-delay swap
+// the LMS hot loop relies on (vs the full NewReconstructor rebuild the
+// seed paid per candidate).
+func BenchmarkReconstructorRetune(b *testing.B) {
+	band := pnbs.Band{FLow: 955e6, B: 90e6}
+	tt := band.T()
+	n := 256
+	ch0 := make([]float64, n)
+	ch1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ch0[i] = math.Cos(2 * math.Pi * 1e9 * float64(i) * tt)
+		ch1[i] = math.Cos(2 * math.Pi * 1e9 * (float64(i)*tt + 180e-12))
+	}
+	r, err := pnbs.NewReconstructor(band, 180e-12, 0, ch0, ch1, pnbs.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := []float64{120e-12, 180e-12, 240e-12, 300e-12}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Retune(ds[i%len(ds)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostEvaluationWorkers4 drives the cost function with an
+// explicit 4-worker pool (on a single-core host this measures the fan-out
+// overhead; on a multi-core host, the speedup).
+func BenchmarkCostEvaluationWorkers4(b *testing.B) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	BenchmarkCostEvaluation(b)
 }
 
 func BenchmarkFFT4096(b *testing.B) {

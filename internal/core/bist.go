@@ -73,7 +73,8 @@ type Config struct {
 	// --- Delay estimation -------------------------------------------------
 	// HalfTaps is nw/2 for the reconstruction filter (0 = 30 -> 61 taps).
 	HalfTaps int
-	// KaiserBeta windows the reconstruction filter (0 = 8).
+	// KaiserBeta windows the reconstruction filter (0 = 8; negative = no
+	// taper, i.e. a rectangular window — see pnbs.Options.KaiserBeta).
 	KaiserBeta float64
 	// NTimes is the cost-function sample count (0 = 300, the paper's N).
 	NTimes int

@@ -3,10 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/dsp"
+	"repro/internal/par"
 	"repro/internal/rf"
 )
 
@@ -63,77 +62,80 @@ type YieldReport struct {
 	WorstMarginDB float64
 }
 
+// unitConfig derives unit u's impairment draw. Each unit owns an RNG
+// seeded from the lot seed plus its index (splitmix-style mixing keeps
+// neighbouring seeds decorrelated), so the draw depends only on (seed, u):
+// reproducible at any worker count, stable under lot resizing, and free of
+// shared state across goroutines.
+func unitConfig(base Config, spread ProcessSpread, seed int64, u int) Config {
+	rng := rand.New(rand.NewSource(mixSeed(seed, int64(u))))
+	cfg := base
+	cfg.Seed = base.Seed + int64(u)
+	cfg.TimesSeed = base.TimesSeed + int64(u)
+	cfg.TI.Seed = base.TI.Seed + int64(u)*17
+	cfg.TI.Ch0.Seed = base.TI.Ch0.Seed + int64(u)*31
+	cfg.TI.Ch1.Seed = base.TI.Ch1.Seed + int64(u)*37
+	cfg.CalibrateMismatch = true
+	gainDB := spread.IQGainSigmaDB * rng.NormFloat64()
+	phaseDeg := spread.IQPhaseSigmaDeg * rng.NormFloat64()
+	leak := complex(spread.LOLeakSigma*rng.NormFloat64(), spread.LOLeakSigma*rng.NormFloat64())
+	if gainDB != 0 || phaseDeg != 0 || leak != 0 {
+		cfg.Tx.IQ = rf.FromImbalanceDB(gainDB, phaseDeg, leak)
+	}
+	if spread.PAGainSigmaDB > 0 {
+		g := dsp.FromAmplitudeDB(spread.PAGainSigmaDB * rng.NormFloat64())
+		cfg.Tx.PA = &rf.LinearPA{Gain: complex(g, 0)}
+	}
+	cfg.TI.DCDE.Bias = spread.DCDEBiasSigma * rng.NormFloat64()
+	cfg.TI.Ch0.Gain = dsp.FromAmplitudeDB(spread.ChannelGainSigmaDB * rng.NormFloat64())
+	cfg.TI.Ch1.Gain = dsp.FromAmplitudeDB(spread.ChannelGainSigmaDB * rng.NormFloat64())
+	cfg.TI.Ch0.Offset = spread.ChannelOffsetSigma * rng.NormFloat64()
+	cfg.TI.Ch1.Offset = spread.ChannelOffsetSigma * rng.NormFloat64()
+	return cfg
+}
+
+// mixSeed combines the lot seed with a unit index via the SplitMix64
+// finaliser, so that consecutive (seed, u) pairs land far apart in the
+// generator's state space.
+func mixSeed(seed, u int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(u+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // RunYield simulates nUnits devices drawn from the spread through the full
 // BIST and reports the yield. The base configuration supplies everything
 // not varied (waveform, rates, thresholds); calibration is enabled so
-// benign channel mismatch does not eat yield.
+// benign channel mismatch does not eat yield. Units fan out over the par
+// pool; because every unit derives its own RNG from the lot seed and its
+// index, the report is identical at any worker count.
 func RunYield(base Config, spread ProcessSpread, nUnits int, seed int64) (*YieldReport, error) {
 	if nUnits < 1 {
 		return nil, fmt.Errorf("core: yield run needs at least one unit")
 	}
-	// Impairment draws stay on a single stream so results are independent
-	// of worker scheduling; the (deterministic) BIST runs fan out across
-	// the CPUs.
-	rng := rand.New(rand.NewSource(seed))
-	cfgs := make([]Config, nUnits)
-	for u := 0; u < nUnits; u++ {
-		cfg := base
-		cfg.Seed = base.Seed + int64(u)
-		cfg.TimesSeed = base.TimesSeed + int64(u)
-		cfg.TI.Seed = base.TI.Seed + int64(u)*17
-		cfg.TI.Ch0.Seed = base.TI.Ch0.Seed + int64(u)*31
-		cfg.TI.Ch1.Seed = base.TI.Ch1.Seed + int64(u)*37
-		cfg.CalibrateMismatch = true
-		gainDB := spread.IQGainSigmaDB * rng.NormFloat64()
-		phaseDeg := spread.IQPhaseSigmaDeg * rng.NormFloat64()
-		leak := complex(spread.LOLeakSigma*rng.NormFloat64(), spread.LOLeakSigma*rng.NormFloat64())
-		if gainDB != 0 || phaseDeg != 0 || leak != 0 {
-			cfg.Tx.IQ = rf.FromImbalanceDB(gainDB, phaseDeg, leak)
-		}
-		if spread.PAGainSigmaDB > 0 {
-			g := dsp.FromAmplitudeDB(spread.PAGainSigmaDB * rng.NormFloat64())
-			cfg.Tx.PA = &rf.LinearPA{Gain: complex(g, 0)}
-		}
-		cfg.TI.DCDE.Bias = spread.DCDEBiasSigma * rng.NormFloat64()
-		cfg.TI.Ch0.Gain = dsp.FromAmplitudeDB(spread.ChannelGainSigmaDB * rng.NormFloat64())
-		cfg.TI.Ch1.Gain = dsp.FromAmplitudeDB(spread.ChannelGainSigmaDB * rng.NormFloat64())
-		cfg.TI.Ch0.Offset = spread.ChannelOffsetSigma * rng.NormFloat64()
-		cfg.TI.Ch1.Offset = spread.ChannelOffsetSigma * rng.NormFloat64()
-		cfgs[u] = cfg
-	}
 	units := make([]UnitResult, nUnits)
-	errs := make([]error, nUnits)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for u := 0; u < nUnits; u++ {
-		wg.Add(1)
-		go func(u int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			b, err := New(cfgs[u])
-			if err != nil {
-				errs[u] = fmt.Errorf("core: yield unit %d: %w", u, err)
-				return
-			}
-			r, err := b.Run()
-			if err != nil {
-				errs[u] = fmt.Errorf("core: yield unit %d: %w", u, err)
-				return
-			}
-			ur := UnitResult{Unit: u, Pass: r.Pass, SkewPS: r.SkewErrPS()}
-			if r.Mask != nil {
-				ur.WorstMarginDB = r.Mask.WorstMarginDB
-			}
-			units[u] = ur
-		}(u)
+	err := par.ForErr(nUnits, func(u int) error {
+		b, err := New(unitConfig(base, spread, seed, u))
+		if err != nil {
+			return fmt.Errorf("core: yield unit %d: %w", u, err)
+		}
+		r, err := b.Run()
+		if err != nil {
+			return fmt.Errorf("core: yield unit %d: %w", u, err)
+		}
+		ur := UnitResult{Unit: u, Pass: r.Pass, SkewPS: r.SkewErrPS()}
+		if r.Mask != nil {
+			ur.WorstMarginDB = r.Mask.WorstMarginDB
+		}
+		units[u] = ur
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	rep := &YieldReport{WorstMarginDB: 1e9}
 	for u := 0; u < nUnits; u++ {
-		if errs[u] != nil {
-			return nil, errs[u]
-		}
 		ur := units[u]
 		if ur.WorstMarginDB != 0 && ur.WorstMarginDB < rep.WorstMarginDB {
 			rep.WorstMarginDB = ur.WorstMarginDB

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/par"
+)
 
 func TestYieldInSpecPopulation(t *testing.T) {
 	base := fastScenario()
@@ -61,6 +65,43 @@ func TestYieldDeterministic(t *testing.T) {
 	for i := range a.Units {
 		if a.Units[i].SkewPS != b.Units[i].SkewPS {
 			t.Fatal("yield run not reproducible")
+		}
+	}
+}
+
+func TestYieldDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Each unit derives its RNG from the lot seed + its own index, so the
+	// report must be bit-identical no matter how the units are scheduled.
+	base := fastScenario()
+	run := func(workers, n int) *YieldReport {
+		t.Helper()
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		rep, err := RunYield(base, TypicalSpread(), n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1, 4)
+	for _, w := range []int{2, 5} {
+		rep := run(w, 4)
+		for i := range serial.Units {
+			if rep.Units[i] != serial.Units[i] {
+				t.Fatalf("workers=%d: unit %d differs: %+v vs %+v",
+					w, i, rep.Units[i], serial.Units[i])
+			}
+		}
+		if rep.Yield != serial.Yield || rep.WorstSkewPS != serial.WorstSkewPS {
+			t.Fatalf("workers=%d: aggregate differs", w)
+		}
+	}
+	// Lot-resize stability: unit u's draw depends only on (seed, u), so a
+	// smaller lot is a strict prefix of a bigger one.
+	small := run(3, 2)
+	for i := range small.Units {
+		if small.Units[i] != serial.Units[i] {
+			t.Fatalf("prefix stability broken at unit %d", i)
 		}
 	}
 }

@@ -93,7 +93,9 @@ func RunAblate() (*AblateResult, error) {
 			return nil, err
 		}
 	}
-	for _, kb := range []float64{4, 6, 8, 10, 12} {
+	// -1 is the rectangular (untapered) design point: KaiserBeta < 0
+	// disables the taper, quantifying what the window buys.
+	for _, kb := range []float64{-1, 4, 6, 8, 10, 12} {
 		kb := kb
 		if err := runPoint("kaiserBeta", kb, func(s *PaperSetup) { s.KaiserBeta = kb }); err != nil {
 			return nil, err

@@ -35,7 +35,8 @@ type PaperSetup struct {
 	Bits int
 	// HalfTaps is nw/2 (30 -> 61 taps).
 	HalfTaps int
-	// KaiserBeta shapes the reconstruction window (0 = 8).
+	// KaiserBeta shapes the reconstruction window (0 = 8; negative = no
+	// taper, see pnbs.Options.KaiserBeta).
 	KaiserBeta float64
 	// NTimes is the cost-function point count (300).
 	NTimes int

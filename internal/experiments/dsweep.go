@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/pnbs"
 )
 
@@ -35,16 +36,21 @@ func RunDSweep(band pnbs.Band, maxD float64, nPts int) (*DSweepResult, error) {
 		Band:      band,
 		Forbidden: band.ForbiddenD(maxD),
 		OptimalD:  band.OptimalD(),
+		Ds:        make([]float64, nPts),
+		Metric:    make([]float64, nPts),
 	}
+	// Independent sweep points fan out over the pool; the argmin scan runs
+	// serially afterwards so ties keep resolving to the lowest delay.
+	par.For(nPts, func(i int) {
+		d := maxD * float64(i+1) / float64(nPts)
+		res.Ds[i] = d
+		res.Metric[i] = pnbs.CoefficientMetric(band, d)
+	})
 	best := math.Inf(1)
-	for i := 1; i <= nPts; i++ {
-		d := maxD * float64(i) / float64(nPts)
-		m := pnbs.CoefficientMetric(band, d)
-		res.Ds = append(res.Ds, d)
-		res.Metric = append(res.Metric, m)
+	for i, m := range res.Metric {
 		if m < best {
 			best = m
-			res.BestD = d
+			res.BestD = res.Ds[i]
 		}
 	}
 	return res, nil

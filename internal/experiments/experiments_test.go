@@ -248,8 +248,24 @@ func TestRunAblateShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 20 {
+	if len(r.Rows) != 21 {
 		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// The rectangular design point (KaiserBeta = -1) must run and must be
+	// beaten by the paper's beta = 8 taper on reconstruction error.
+	var rectErr, kb8Err float64
+	for _, row := range r.Rows {
+		if row.Param == "kaiserBeta" && row.Value == -1 {
+			rectErr = row.ReconErr
+		}
+		if row.Param == "kaiserBeta" && row.Value == 8 {
+			kb8Err = row.ReconErr
+		}
+	}
+	if rectErr == 0 || kb8Err == 0 {
+		t.Error("kaiserBeta sweep missing the rectangular or beta=8 point")
+	} else if kb8Err >= rectErr {
+		t.Errorf("taper did not help: beta=8 %.4f vs rect %.4f", kb8Err, rectErr)
 	}
 	byParam := map[string][]AblateRow{}
 	for _, row := range r.Rows {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/par"
 	"repro/internal/skew"
 )
 
@@ -42,13 +43,21 @@ func RunFig6(s PaperSetup, starts []float64, nB int) (*Fig6Result, error) {
 		return nil, err
 	}
 	res := &Fig6Result{DTrue: actualD}
-	for _, d0 := range starts {
+	// Each trace is an independent descent on the shared evaluator (Cost is
+	// concurrency-safe); the traces fan out over the pool and land in
+	// start-estimate order.
+	traces, err := par.MapErr(len(starts), func(i int) (Fig6Trace, error) {
+		d0 := starts[i]
 		r, err := skew.Estimate(ce, d0, skew.LMSConfig{Mu0: 1e-12})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: LMS from %g: %w", d0, err)
+			return Fig6Trace{}, fmt.Errorf("experiments: LMS from %g: %w", d0, err)
 		}
-		res.Traces = append(res.Traces, Fig6Trace{D0: d0, Result: r})
+		return Fig6Trace{D0: d0, Result: r}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Traces = traces
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/dsp"
+	"repro/internal/par"
 	"repro/internal/pnbs"
 	"repro/internal/rf"
 	"repro/internal/sig"
@@ -74,74 +75,97 @@ func RunTable1(s PaperSetup, nB int) (*Table1Result, error) {
 	}
 	m := skew.MUpper(s.BandB, s.BandB1)
 
-	// Sinusoid-based baseline at omega0 = 0.4 B and 0.46 B.
-	for _, frac := range []float64{0.40, 0.46} {
+	// The four estimator evaluations — the sinusoid baseline at omega0 =
+	// 0.4 B and 0.46 B (each with its own tone transmitter and capture)
+	// and the LMS from the paper's two starting estimates — are mutually
+	// independent, so they fan out over the pool. Results land in the
+	// table's row order regardless of scheduling.
+	fracs := []float64{0.40, 0.46}
+	d0s := []float64{50e-12, 400e-12}
+	type unit struct {
+		row, aux Table1Row
+		hasAux   bool
+	}
+	units, err := par.MapErr(len(fracs)+len(d0s), func(i int) (unit, error) {
+		if i >= len(fracs) {
+			// LMS technique on the shared (concurrency-safe) evaluator.
+			d0 := d0s[i-len(fracs)]
+			r, err := skew.Estimate(ce, d0, skew.LMSConfig{Mu0: 1e-12})
+			if err != nil {
+				return unit{}, err
+			}
+			re, err := reconErr(r.DHat)
+			if err != nil {
+				return unit{}, err
+			}
+			return unit{row: Table1Row{
+				Label:    fmt.Sprintf("LMS, D0 = %.0f ps", d0*1e12),
+				AbsErr:   math.Abs(r.DHat - actualD),
+				RelErr:   math.Abs(1 - r.DHat/actualD),
+				ReconErr: re,
+			}}, nil
+		}
+		// Sinusoid-based baseline.
+		frac := fracs[i]
 		f0, err := skew.SineTestFrequency(s.BandB, s.BandB.B, frac*s.BandB.B)
 		if err != nil {
-			return nil, err
+			return unit{}, err
 		}
 		fb := f0 - s.BandB.Fc()
 		toneTx, err := rf.NewTransmitter(rf.TxConfig{Fc: s.BandB.Fc()},
 			&sig.ComplexTone{Amp: 1, Freq: fb})
 		if err != nil {
-			return nil, err
+			return unit{}, err
 		}
 		ti, err := s.buildTIADC()
 		if err != nil {
-			return nil, err
+			return unit{}, err
 		}
 		cap0, err := ti.Capture(toneTx.Output(), s.BandB.T(), s.D, 0, nB)
 		if err != nil {
-			return nil, err
+			return unit{}, err
 		}
 		scfg := skew.SineEstimateConfig{F0: f0, B: s.BandB.B, T0: cap0.T0, DMax: m}
 		dHat, err := skew.EstimateJamalInterp(scfg, cap0.Ch0, cap0.Ch1)
 		if err != nil {
-			return nil, err
+			return unit{}, err
 		}
 		re, err := reconErr(dHat)
 		if err != nil {
-			return nil, err
+			return unit{}, err
 		}
-		res.Rows = append(res.Rows, Table1Row{
+		u := unit{row: Table1Row{
 			Label:    fmt.Sprintf("sine [14], w0 = %.2f B", frac),
 			AbsErr:   math.Abs(dHat - actualD),
 			RelErr:   math.Abs(1 - dHat/actualD),
 			ReconErr: re,
-		})
+		}}
 		// Auxiliary: the idealised coherent-fit adaptation on the same data.
 		dFit, err := skew.EstimateSine(scfg, cap0.Ch0, cap0.Ch1)
 		if err != nil {
-			return nil, err
+			return unit{}, err
 		}
 		reFit, err := reconErr(dFit)
 		if err != nil {
-			return nil, err
+			return unit{}, err
 		}
-		res.AuxRows = append(res.AuxRows, Table1Row{
+		u.aux = Table1Row{
 			Label:    fmt.Sprintf("coherent fit, w0 = %.2f B", frac),
 			AbsErr:   math.Abs(dFit - actualD),
 			RelErr:   math.Abs(1 - dFit/actualD),
 			ReconErr: reFit,
-		})
+		}
+		u.hasAux = true
+		return u, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	// LMS technique from the paper's two starting estimates.
-	for _, d0 := range []float64{50e-12, 400e-12} {
-		r, err := skew.Estimate(ce, d0, skew.LMSConfig{Mu0: 1e-12})
-		if err != nil {
-			return nil, err
+	for _, u := range units {
+		res.Rows = append(res.Rows, u.row)
+		if u.hasAux {
+			res.AuxRows = append(res.AuxRows, u.aux)
 		}
-		re, err := reconErr(r.DHat)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, Table1Row{
-			Label:    fmt.Sprintf("LMS, D0 = %.0f ps", d0*1e12),
-			AbsErr:   math.Abs(r.DHat - actualD),
-			RelErr:   math.Abs(1 - r.DHat/actualD),
-			ReconErr: re,
-		})
 	}
 	return res, nil
 }

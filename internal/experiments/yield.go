@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 // YieldResult is the Monte-Carlo production experiment: an in-spec lot and
@@ -40,18 +41,30 @@ func RunYieldExperiment(nUnits int, scale float64) (*YieldResult, error) {
 	base.SegLen = base.PSDLen / 4
 	base.IRRTest = true
 
-	inSpec, err := core.RunYield(base, core.TypicalSpread(), nUnits, 1001)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: in-spec lot: %w", err)
-	}
 	marginal := core.TypicalSpread()
 	marginal.IQPhaseSigmaDeg = 2.5
 	marginal.IQGainSigmaDB = 0.4
-	bad, err := core.RunYield(base, marginal, nUnits, 1002)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: marginal lot: %w", err)
+	// The two lots are independent Monte-Carlo runs (RunYield itself fans
+	// its units over the same pool), so they proceed concurrently.
+	lots := []struct {
+		name   string
+		spread core.ProcessSpread
+		seed   int64
+	}{
+		{"in-spec lot", core.TypicalSpread(), 1001},
+		{"marginal lot", marginal, 1002},
 	}
-	return &YieldResult{InSpec: inSpec, Marginal: bad, Units: nUnits}, nil
+	reps, err := par.MapErr(len(lots), func(i int) (*core.YieldReport, error) {
+		rep, err := core.RunYield(base, lots[i].spread, nUnits, lots[i].seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", lots[i].name, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &YieldResult{InSpec: reps[0], Marginal: reps[1], Units: nUnits}, nil
 }
 
 // Render prints the lot comparison.

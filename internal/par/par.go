@@ -1,0 +1,155 @@
+// Package par is the repository's bounded parallel-execution layer: a
+// worker-count-capped fan-out with deterministic result ordering, used by
+// the skew/pnbs hot path (dual-rate cost, reconstruction instants) and by
+// every experiment runner with independent sweep points, traces, or units.
+//
+// Determinism contract: For/Map/MapErr assign results by index, so the
+// output of a call never depends on goroutine scheduling or on the worker
+// count. Callers that reduce (e.g. the cost function's mean square) write
+// per-index partials and fold them serially in index order, which keeps
+// results bit-identical at any pool size — the property the differential
+// tests in skew and pnbs assert.
+package par
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride holds the SetWorkers value; 0 means "use the default".
+var workerOverride atomic.Int64
+
+func init() {
+	// BIST_WORKERS overrides the pool width for the whole process without a
+	// code change (ops knob; GOMAXPROCS still bounds real parallelism).
+	if s := os.Getenv("BIST_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			workerOverride.Store(int64(n))
+		}
+	}
+}
+
+// maxWorkers is a sanity cap on explicit overrides: far above any real
+// machine, low enough to keep a typo from spawning millions of goroutines.
+const maxWorkers = 1024
+
+// Workers returns the pool width used by For/Map: the SetWorkers (or
+// BIST_WORKERS) override if present, else min(GOMAXPROCS, NumCPU).
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetWorkers overrides the pool width and returns the previous override
+// (0 if the default was active). n <= 0 restores the default; n is capped
+// at 1024. Values above GOMAXPROCS add concurrency but not parallelism,
+// which is exactly what the race-detector tests use on small machines.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxWorkers {
+		n = maxWorkers
+	}
+	return int(workerOverride.Swap(int64(n)))
+}
+
+// For calls fn(i) for every i in [0, n) across at most Workers()
+// goroutines and returns when all calls complete. With one worker (or one
+// item) it runs inline with no goroutine overhead. A panic in any fn is
+// re-raised in the caller after the remaining workers drain.
+func For(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		abort   atomic.Bool
+		panicMu sync.Mutex
+		panicV  any
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+					abort.Store(true)
+				}
+			}()
+			for !abort.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(fmt.Sprintf("par: worker panic: %v", panicV))
+	}
+}
+
+// ForErr calls fn(i) for every i in [0, n) on the pool and returns the
+// error of the lowest-index failing call (deterministic regardless of
+// scheduling), or nil if all succeed.
+func ForErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	For(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map evaluates fn over [0, n) on the pool and returns the results in
+// index order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr evaluates fn over [0, n) on the pool. It returns the results in
+// index order, or the error of the lowest-index failing call.
+func MapErr[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	For(n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

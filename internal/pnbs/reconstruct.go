@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/dsp"
+	"repro/internal/par"
 )
 
 // Options tunes the practical reconstruction filter of Eq. (6).
@@ -14,7 +14,9 @@ type Options struct {
 	// paper's configuration).
 	HalfTaps int
 	// KaiserBeta shapes the window applied to the truncated interpolation
-	// series; 0 defaults to 8.
+	// series. 0 defaults to 8 (the paper's configuration); any negative
+	// value selects no taper at all (a rectangular window over the filter
+	// support), which a zero value cannot express because of the default.
 	KaiserBeta float64
 }
 
@@ -43,10 +45,14 @@ type Reconstructor struct {
 	ch0   []float64
 	ch1   []float64
 	opt   Options
-	i0Den float64 // I0(beta), precomputed
+	// win is the shared Kaiser taper table (nil for a rectangular window);
+	// winScale is 1/((HalfTaps+1) T), the tap-offset normalisation.
+	win      *windowLUT
+	winScale float64
 	// Tap-to-tap phasor rotations exp(-i a T) for the four kernel cosine
 	// terms: evaluating s() across consecutive taps then needs complex
-	// multiplies instead of Sincos calls (the LMS hot path).
+	// multiplies instead of Sincos calls (the LMS hot path). The rotation
+	// angles depend only on the band, so Retune leaves them untouched.
 	rotA0, rotB0, rotA1, rotB1 complex128
 }
 
@@ -69,13 +75,16 @@ func NewReconstructor(band Band, dEst, t0 float64, ch0, ch1 []float64, opt Optio
 			len(ch0), o.HalfTaps)
 	}
 	r := &Reconstructor{
-		kern:  kern,
-		t0:    t0,
-		tStep: band.T(),
-		ch0:   ch0,
-		ch1:   ch1,
-		opt:   o,
-		i0Den: dsp.BesselI0(o.KaiserBeta),
+		kern:     kern,
+		t0:       t0,
+		tStep:    band.T(),
+		ch0:      ch0,
+		ch1:      ch1,
+		opt:      o,
+		winScale: 1 / (float64(o.HalfTaps+1) * band.T()),
+	}
+	if o.KaiserBeta > 0 {
+		r.win = lutFor(o.KaiserBeta)
 	}
 	tt := band.T()
 	r.rotA0 = cis(-kern.a0 * tt)
@@ -83,6 +92,16 @@ func NewReconstructor(band Band, dEst, t0 float64, ch0, ch1 []float64, opt Optio
 	r.rotA1 = cis(-kern.a1 * tt)
 	r.rotB1 = cis(-kern.b1 * tt)
 	return r, nil
+}
+
+// Retune swaps the candidate delay D-hat into the reconstructor in place:
+// only the delay-dependent kernel phases are recomputed — the capture, the
+// window table, and the band-derived phasor rotations are reused, so the
+// LMS hot loop re-evaluates the cost at a new candidate without a single
+// allocation. On error (a forbidden delay violating Eq. (3)) the
+// reconstructor is left unchanged at its previous, valid delay.
+func (r *Reconstructor) Retune(dHat float64) error {
+	return r.kern.retune(dHat)
 }
 
 // cis returns exp(i theta).
@@ -102,14 +121,19 @@ func (r *Reconstructor) ValidRange() (tMin, tMax float64) {
 }
 
 // window evaluates the continuous Kaiser taper at normalised offset
-// x = dt / ((HalfTaps+1) T), zero outside |x| >= 1.
+// x = dt / ((HalfTaps+1) T), zero outside |x| >= 1. The taper value comes
+// from the shared per-beta lookup table (see window.go); a nil table means
+// the rectangular window (KaiserBeta < 0).
 func (r *Reconstructor) window(dt float64) float64 {
-	x := dt / (float64(r.opt.HalfTaps+1) * r.tStep)
+	x := dt * r.winScale
 	ax := x * x
 	if ax >= 1 {
 		return 0
 	}
-	return dsp.BesselI0(r.opt.KaiserBeta*math.Sqrt(1-ax)) / r.i0Den
+	if r.win == nil {
+		return 1
+	}
+	return r.win.at(ax)
 }
 
 // At evaluates the reconstruction at time t. Sample pairs outside the
@@ -217,12 +241,14 @@ func (r *Reconstructor) atReference(t float64) float64 {
 	return acc
 }
 
-// AtTimes evaluates the reconstruction at each instant.
+// AtTimes evaluates the reconstruction at each instant. The instants are
+// independent, so they fan out over the par worker pool; out[i] is always
+// At(ts[i]) regardless of the pool size.
 func (r *Reconstructor) AtTimes(ts []float64) []float64 {
 	out := make([]float64, len(ts))
-	for i, t := range ts {
-		out[i] = r.At(t)
-	}
+	par.For(len(ts), func(i int) {
+		out[i] = r.At(ts[i])
+	})
 	return out
 }
 
@@ -232,10 +258,11 @@ func (r *Reconstructor) AtTimes(ts []float64) []float64 {
 // subsequent PSD windowing or filtering).
 func (r *Reconstructor) Envelope(fc float64, ts []float64) []complex128 {
 	out := make([]complex128, len(ts))
-	for i, t := range ts {
+	par.For(len(ts), func(i int) {
+		t := ts[i]
 		v := r.At(t)
 		s, c := math.Sincos(2 * math.Pi * fc * t)
 		out[i] = complex(2*v*c, -2*v*s)
-	}
+	})
 	return out
 }

@@ -1,0 +1,179 @@
+package pnbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// toneCapture samples a paper-band tone into the two channels.
+func toneCapture(band Band, d float64, n int) (ch0, ch1 []float64) {
+	tt := band.T()
+	ch0 = make([]float64, n)
+	ch1 = make([]float64, n)
+	for i := 0; i < n; i++ {
+		ch0[i] = math.Cos(2 * math.Pi * 1.003e9 * float64(i) * tt)
+		ch1[i] = math.Cos(2 * math.Pi * 1.003e9 * (float64(i)*tt + d))
+	}
+	return ch0, ch1
+}
+
+func TestWindowLUTMatchesExactSeries(t *testing.T) {
+	for _, beta := range []float64{2, 8, 12} {
+		lut := lutFor(beta)
+		den := i0EvenSeries(beta * beta)
+		worst := 0.0
+		// Dense off-grid sweep of y = x^2 across the support.
+		for i := 0; i < 20000; i++ {
+			y := (float64(i) + 0.37) / 20000
+			exact := i0EvenSeries(beta*beta*(1-y)) / den
+			if e := math.Abs(lut.at(y) - exact); e > worst {
+				worst = e
+			}
+		}
+		if worst > 1e-12 {
+			t.Errorf("beta %g: LUT error %g exceeds 1e-12", beta, worst)
+		}
+	}
+}
+
+func TestWindowLUTSharedAcrossReconstructors(t *testing.T) {
+	band := Band{FLow: 955e6, B: 90e6}
+	ch0, ch1 := toneCapture(band, 180e-12, 256)
+	r1, err := NewReconstructor(band, 180e-12, 0, ch0, ch1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReconstructor(band, 210e-12, 0, ch0, ch1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.win == nil || r1.win != r2.win {
+		t.Error("same-beta reconstructors must share one window table")
+	}
+}
+
+func TestRetuneMatchesFreshReconstructor(t *testing.T) {
+	band := Band{FLow: 955e6, B: 90e6}
+	d := 180e-12
+	ch0, ch1 := toneCapture(band, d, 300)
+	retuned, err := NewReconstructor(band, 120e-12, 0, ch0, ch1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dHat := range []float64{180e-12, 95e-12, 260e-12, -250e-12} {
+		if err := retuned.Retune(dHat); err != nil {
+			t.Fatalf("retune to %g: %v", dHat, err)
+		}
+		fresh, err := NewReconstructor(band, dHat, 0, ch0, ch1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := fresh.ValidRange()
+		for i := 0; i < 200; i++ {
+			tv := lo + (hi-lo)*float64(i)/199
+			a, b := retuned.At(tv), fresh.At(tv)
+			if a != b {
+				t.Fatalf("dHat %g, t %g: retuned %g != fresh %g", dHat, tv, a, b)
+			}
+		}
+		if retuned.Kernel().D() != dHat {
+			t.Fatalf("kernel reports D %g after retune to %g", retuned.Kernel().D(), dHat)
+		}
+	}
+}
+
+func TestRetuneRejectsForbiddenDelayAndKeepsState(t *testing.T) {
+	band := Band{FLow: 955e6, B: 90e6}
+	d := 180e-12
+	ch0, ch1 := toneCapture(band, d, 256)
+	r, err := NewReconstructor(band, d, 0, ch0, ch1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := r.ValidRange()
+	tv := (lo + hi) / 2
+	before := r.At(tv)
+	if err := r.Retune(band.T() / float64(band.K())); err == nil {
+		t.Fatal("forbidden delay accepted")
+	}
+	if err := r.Retune(0); err == nil {
+		t.Fatal("zero delay accepted")
+	}
+	if got := r.At(tv); got != before {
+		t.Fatalf("failed retune changed state: %g vs %g", got, before)
+	}
+	if r.Kernel().D() != d {
+		t.Fatalf("failed retune changed D: %g", r.Kernel().D())
+	}
+}
+
+func TestNegativeKaiserBetaIsRectangular(t *testing.T) {
+	band := Band{FLow: 955e6, B: 90e6}
+	d := 180e-12
+	ch0, ch1 := toneCapture(band, d, 256)
+	rect, err := NewReconstructor(band, d, 0, ch0, ch1, Options{KaiserBeta: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rect.win != nil {
+		t.Fatal("negative beta must disable the taper")
+	}
+	// Inside the support the rectangular taper is exactly 1, outside 0.
+	h := (float64(rect.opt.HalfTaps+1)) * band.T()
+	for _, frac := range []float64{0, 0.3, 0.9, 0.999} {
+		if w := rect.window(frac * h); w != 1 {
+			t.Errorf("window(%.3f support) = %g, want 1", frac, w)
+		}
+	}
+	if w := rect.window(1.001 * h); w != 0 {
+		t.Errorf("window outside support = %g, want 0", w)
+	}
+	// And it must genuinely differ from the defaulted beta = 8 taper.
+	kaiser, err := NewReconstructor(band, d, 0, ch0, ch1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := rect.ValidRange()
+	same := true
+	for i := 0; i < 50; i++ {
+		tv := lo + (hi-lo)*float64(i)/49
+		if rect.At(tv) != kaiser.At(tv) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("rectangular and Kaiser reconstructions are identical")
+	}
+}
+
+func TestAtTimesParallelMatchesSerial(t *testing.T) {
+	band := Band{FLow: 955e6, B: 90e6}
+	d := 180e-12
+	ch0, ch1 := toneCapture(band, d, 300)
+	r, err := NewReconstructor(band, d, 0, ch0, ch1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := r.ValidRange()
+	ts := make([]float64, 257)
+	for i := range ts {
+		ts[i] = lo + (hi-lo)*float64(i)/float64(len(ts)-1)
+	}
+	serial := make([]float64, len(ts))
+	for i, tv := range ts {
+		serial[i] = r.At(tv)
+	}
+	for _, w := range []int{1, 4} {
+		prev := par.SetWorkers(w)
+		got := r.AtTimes(ts)
+		par.SetWorkers(prev)
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: AtTimes[%d] = %g, serial %g", w, i, got[i], serial[i])
+			}
+		}
+	}
+}

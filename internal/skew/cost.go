@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
+	"repro/internal/par"
 	"repro/internal/pnbs"
 )
 
@@ -73,6 +75,45 @@ type CostEvaluator struct {
 	setB1 SampleSet
 	times []float64
 	opt   pnbs.Options
+	// workers recycles reconstructor pairs (plus a per-instant scratch
+	// buffer) across Cost calls: a candidate delay is swapped in with
+	// Retune instead of rebuilding kernels and phasor tables, so the LMS
+	// hot loop runs allocation-free. A pool rather than a single pair
+	// keeps Cost safe to call from concurrent goroutines (parallel sweep
+	// points, parallel LMS traces) without serialising them.
+	workers sync.Pool // *costWorker
+}
+
+// costWorker is one reusable evaluation context.
+type costWorker struct {
+	rB, rB1 *pnbs.Reconstructor
+	scratch []float64
+}
+
+// worker returns a pooled evaluation context retuned to dHat, building a
+// fresh one only when the pool is empty.
+func (c *CostEvaluator) worker(dHat float64) (*costWorker, error) {
+	if v := c.workers.Get(); v != nil {
+		w := v.(*costWorker)
+		if err := w.rB.Retune(dHat); err != nil {
+			c.workers.Put(w)
+			return nil, err
+		}
+		if err := w.rB1.Retune(dHat); err != nil {
+			c.workers.Put(w)
+			return nil, err
+		}
+		return w, nil
+	}
+	rB, err := pnbs.NewReconstructor(c.setB.Band, dHat, c.setB.T0, c.setB.Ch0, c.setB.Ch1, c.opt)
+	if err != nil {
+		return nil, err
+	}
+	rB1, err := pnbs.NewReconstructor(c.setB1.Band, dHat, c.setB1.T0, c.setB1.Ch0, c.setB1.Ch1, c.opt)
+	if err != nil {
+		return nil, err
+	}
+	return &costWorker{rB: rB, rB1: rB1, scratch: make([]float64, len(c.times))}, nil
 }
 
 // NewCostEvaluator validates the two captures and the evaluation instants.
@@ -97,8 +138,37 @@ func (c *CostEvaluator) Times() []float64 { return c.times }
 // M returns the upper limit of the searchable delay interval.
 func (c *CostEvaluator) M() float64 { return MUpper(c.setB.Band, c.setB1.Band) }
 
-// Cost evaluates the Eq. (7) objective at the candidate delay dHat.
+// Cost evaluates the Eq. (7) objective at the candidate delay dHat. The
+// instants fan out over the par pool; the per-instant squared differences
+// are folded in index order afterwards, so the result is bit-identical to
+// the serial evaluation at any worker count. Cost is safe for concurrent
+// use.
 func (c *CostEvaluator) Cost(dHat float64) (float64, error) {
+	w, err := c.worker(dHat)
+	if err != nil {
+		return 0, err
+	}
+	defer c.workers.Put(w)
+	n := len(c.times)
+	if cap(w.scratch) < n {
+		w.scratch = make([]float64, n)
+	}
+	sq := w.scratch[:n]
+	par.For(n, func(i int) {
+		d := w.rB.At(c.times[i]) - w.rB1.At(c.times[i])
+		sq[i] = d * d
+	})
+	acc := 0.0
+	for _, v := range sq {
+		acc += v
+	}
+	return acc / float64(n), nil
+}
+
+// costSerial is the single-threaded, rebuild-everything reference
+// implementation of Cost (the seed code path), kept as the oracle for the
+// differential tests of the pooled + parallel path.
+func (c *CostEvaluator) costSerial(dHat float64) (float64, error) {
 	rB, err := pnbs.NewReconstructor(c.setB.Band, dHat, c.setB.T0, c.setB.Ch0, c.setB.Ch1, c.opt)
 	if err != nil {
 		return 0, err

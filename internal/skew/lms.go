@@ -3,6 +3,8 @@ package skew
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // LMSConfig parameterises Algorithm 1.
@@ -163,20 +165,21 @@ func Estimate(ce *CostEvaluator, d0 float64, cfg LMSConfig) (LMSResult, error) {
 }
 
 // CostCurve samples the cost function over nPts delays spanning [dLo, dHi]
-// (Fig. 5 data). Errors at individual points (e.g. kernel instability) are
-// recorded as NaN.
+// (Fig. 5 data). The sweep points are independent and fan out over the par
+// pool. Errors at individual points (e.g. kernel instability) are recorded
+// as NaN.
 func CostCurve(ce *CostEvaluator, dLo, dHi float64, nPts int) (ds, costs []float64) {
 	ds = make([]float64, nPts)
 	costs = make([]float64, nPts)
-	for i := 0; i < nPts; i++ {
+	par.For(nPts, func(i int) {
 		d := dLo + (dHi-dLo)*float64(i)/float64(nPts-1)
 		ds[i] = d
 		v, err := ce.Cost(d)
 		if err != nil {
 			costs[i] = math.NaN()
-			continue
+			return
 		}
 		costs[i] = v
-	}
+	})
 	return ds, costs
 }

@@ -1,6 +1,10 @@
 package skew
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
 
 // MultiCost aggregates the dual-rate cost over several independent
 // acquisitions of the same transmitter: J(D) = mean_k J_k(D). The physical
@@ -34,14 +38,18 @@ func (mc *MultiCost) K() int { return len(mc.evals) }
 // M returns the searchable-delay upper limit shared by all captures.
 func (mc *MultiCost) M() float64 { return mc.evals[0].M() }
 
-// Cost evaluates the averaged objective.
+// Cost evaluates the averaged objective. The K captures are independent,
+// so they fan out over the par pool; the per-capture costs are averaged in
+// capture order, keeping the result independent of the pool size.
 func (mc *MultiCost) Cost(dHat float64) (float64, error) {
+	vals, err := par.MapErr(len(mc.evals), func(i int) (float64, error) {
+		return mc.evals[i].Cost(dHat)
+	})
+	if err != nil {
+		return 0, err
+	}
 	acc := 0.0
-	for _, e := range mc.evals {
-		v, err := e.Cost(dHat)
-		if err != nil {
-			return 0, err
-		}
+	for _, v := range vals {
 		acc += v
 	}
 	return acc / float64(len(mc.evals)), nil
