@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-hot
+.PHONY: all build test vet race check bench bench-hot cover fuzz-smoke golden-update
+
+# Committed coverage floor (percent of statements): `make cover` fails when
+# total coverage drops below this.
+COVER_FLOOR ?= 85.0
 
 all: check
 
@@ -34,3 +38,23 @@ bench:
 bench-hot:
 	$(GO) test -run='^$$' -benchtime=3x -benchmem \
 		-bench='BenchmarkFig5$$|BenchmarkFig6$$|BenchmarkTable1$$|BenchmarkCostEvaluation$$|BenchmarkReconstructorAt61Taps$$|BenchmarkKaiserWindow$$|BenchmarkYield$$' .
+
+# cover measures total statement coverage and fails below COVER_FLOOR.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{sub(/%/, "", $$3); print $$3}'); \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { \
+		if (t + 0 < f + 0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
+
+# fuzz-smoke runs each native fuzz target briefly beyond its seed corpus.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzFFTRoundtrip -fuzztime=10s ./internal/dsp
+	$(GO) test -run='^$$' -fuzz=FuzzBluesteinVsRadix2 -fuzztime=10s ./internal/dsp
+	$(GO) test -run='^$$' -fuzz=FuzzFIRLinearity -fuzztime=10s ./internal/dsp
+	$(GO) test -run='^$$' -fuzz=FuzzReconstructRetune -fuzztime=10s ./internal/pnbs
+
+# golden-update regenerates the committed golden vectors after an intended
+# numeric change. Inspect the diff before committing.
+golden-update:
+	$(GO) test ./internal/experiments -run Golden -update

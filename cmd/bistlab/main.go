@@ -26,23 +26,23 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/testkit"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bistlab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bistlab", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "capture/PSD size scale in (0, 1]: smaller is faster, noisier")
 	nPts := fs.Int("points", 0, "sweep point count (experiment-specific default when 0)")
@@ -61,120 +61,128 @@ func run(args []string) error {
 	}
 	if name == "all" {
 		for _, n := range []string{"fig3a", "fig3b", "fig5", "fig6", "table1", "eq4", "dsweep", "mask", "flex", "ablate", "noise", "yield", "avg", "loop", "resp"} {
-			fmt.Printf("==== %s ====\n", n)
-			if err := runOne(n, *scale, *nPts, *jsonOut); err != nil {
+			fmt.Fprintf(w, "==== %s ====\n", n)
+			if err := runOne(w, n, *scale, *nPts, *jsonOut); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		return nil
 	}
-	return runOne(name, *scale, *nPts, *jsonOut)
+	return runOne(w, name, *scale, *nPts, *jsonOut)
 }
 
 // renderer unifies text and JSON emission: every experiment result is an
 // exported struct with a Render method.
 type renderer interface{ Render(io.Writer) }
 
-func emit(v renderer, jsonOut bool) error {
+// emit writes v as text or as canonical JSON. The canonical encoder keeps
+// -json output byte-deterministic across runs and platforms (declaration-
+// order fields, sorted map keys, shortest-roundtrip floats) and — unlike
+// encoding/json — survives the ±Inf sentinels some results legitimately
+// carry (e.g. empty alias-free wedges in fig3a).
+func emit(w io.Writer, v renderer, jsonOut bool) error {
 	if !jsonOut {
-		v.Render(os.Stdout)
+		v.Render(w)
 		return nil
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
+	b, err := testkit.MarshalCanonical(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
 }
 
-func runOne(name string, scale float64, nPts int, jsonOut bool) error {
+func runOne(w io.Writer, name string, scale float64, nPts int, jsonOut bool) error {
 	setup := experiments.DefaultPaperSetup()
 	switch name {
 	case "fig3a":
-		return emit(experiments.RunFig3a(3, nPts), jsonOut)
+		return emit(w, experiments.RunFig3a(3, nPts), jsonOut)
 	case "fig3b":
 		r, err := experiments.RunFig3b()
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "fig5":
 		r, err := experiments.RunFig5(setup, 0, 0, nPts, 0)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "fig6":
 		r, err := experiments.RunFig6(setup, nil, 0)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "table1":
 		r, err := experiments.RunTable1(setup, 0)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "eq4":
 		r, err := experiments.RunEq4(nil)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "dsweep":
 		r, err := experiments.RunDSweep(setup.BandB, 0, nPts)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "mask":
 		r, err := experiments.RunMaskBIST(scale)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "flex":
 		r, err := experiments.RunFlex(scale)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "ablate":
 		r, err := experiments.RunAblate()
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "noise":
 		r, err := experiments.RunNoiseFold(0.9e9, 1.9e9, 1e-4)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "yield":
 		r, err := experiments.RunYieldExperiment(nPts, scale)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "avg":
 		r, err := experiments.RunAveraging(nil)
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "loop":
 		r, err := experiments.RunLoopback()
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	case "resp":
 		r, err := experiments.RunFilterResp()
 		if err != nil {
 			return err
 		}
-		return emit(r, jsonOut)
+		return emit(w, r, jsonOut)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

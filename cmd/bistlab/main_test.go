@@ -1,32 +1,77 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunOneCheapExperiments(t *testing.T) {
 	for _, name := range []string{"fig3a", "fig3b", "eq4", "dsweep", "noise"} {
-		if err := runOne(name, 1, 0, false); err != nil {
+		var buf bytes.Buffer
+		if err := runOne(&buf, name, 1, 0, false); err != nil {
 			t.Errorf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s: no output", name)
 		}
 	}
 }
 
 func TestRunOneUnknown(t *testing.T) {
-	if err := runOne("nope", 1, 0, true); err == nil {
+	if err := runOne(io.Discard, "nope", 1, 0, true); err == nil {
 		t.Error("unknown experiment must fail")
 	}
 }
 
 func TestRunArgHandling(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(io.Discard, nil); err == nil {
 		t.Error("missing experiment must fail")
 	}
-	if err := run([]string{"fig3b"}); err != nil {
+	if err := run(io.Discard, []string{"fig3b"}); err != nil {
 		t.Errorf("fig3b: %v", err)
 	}
-	if err := run([]string{"fig3b", "-json"}); err != nil {
+	if err := run(io.Discard, []string{"fig3b", "-json"}); err != nil {
 		t.Errorf("fig3b -json: %v", err)
 	}
-	if err := run([]string{"fig3b", "-bogus"}); err == nil {
+	if err := run(io.Discard, []string{"fig3b", "-bogus"}); err == nil {
 		t.Error("bad flag must fail")
+	}
+}
+
+// TestJSONByteDeterminism: two identical -json invocations must produce
+// byte-identical output — the property the golden harness and any downstream
+// diff tooling rely on.
+func TestJSONByteDeterminism(t *testing.T) {
+	for _, name := range []string{"fig3a", "fig3b", "eq4", "dsweep", "noise"} {
+		var a, b bytes.Buffer
+		if err := runOne(&a, name, 1, 0, true); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := runOne(&b, name, 1, 0, true); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: -json output differs between identical runs", name)
+		}
+	}
+}
+
+// TestJSONSurvivesInf: fig3a's empty wedges carry ±Inf, which encoding/json
+// rejects outright; the canonical encoder must emit valid JSON with string
+// sentinels instead.
+func TestJSONSurvivesInf(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runOne(&buf, "fig3a", 1, 0, true); err != nil {
+		t.Fatalf("fig3a -json: %v", err)
+	}
+	var v any
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("fig3a -json is not valid JSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"Infinity"`) {
+		t.Error("expected an Infinity sentinel in fig3a JSON output")
 	}
 }

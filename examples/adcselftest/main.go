@@ -7,21 +7,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"repro/internal/adc"
 	"repro/internal/dsp"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const bits = 10
 	const freq = 0.012360679774997897 // golden-ratio based, maximally non-coherent
 
 	healthyNL := (*adc.StaticNL)(nil)
 	faultyNL, err := adc.NewRandomNL(bits, 1.0, 91)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for _, unit := range []struct {
@@ -31,13 +39,13 @@ func main() {
 		{"healthy", healthyNL},
 		{"ladder-mismatch (1 LSB rms DNL walk)", faultyNL},
 	} {
-		fmt.Printf("=== converter: %s ===\n", unit.name)
+		fmt.Fprintf(w, "=== converter: %s ===\n", unit.name)
 
 		// Static test: code-density histogram under a slightly overdriven,
 		// non-coherent sine.
 		conv, err := adc.New(adc.Config{Bits: bits, FullScale: 1, Seed: 5})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		n := 1 << 19
 		times := make([]float64, n)
@@ -49,15 +57,15 @@ func main() {
 		}, times, unit.nl)
 		dnl, inl, err := adc.HistogramTest(codes, bits)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  histogram test: worst DNL %.2f LSB, worst INL %.2f LSB\n",
+		fmt.Fprintf(w, "  histogram test: worst DNL %.2f LSB, worst INL %.2f LSB\n",
 			dsp.MaxAbsFloat(dnl), dsp.MaxAbsFloat(inl))
 
 		// Dynamic test through the same nonlinearity.
 		dyn, err := adc.New(adc.Config{Bits: bits, FullScale: 1, NL: unit.nl, Seed: 6})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rec := make([]float64, 1<<13)
 		for i := range rec {
@@ -65,15 +73,16 @@ func main() {
 		}
 		res, err := adc.DynamicTest(rec, freq)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  dynamic test: SNDR %.1f dB, SFDR %.1f dB, THD %.1f dB, ENOB %.2f bits\n",
+		fmt.Fprintf(w, "  dynamic test: SNDR %.1f dB, SFDR %.1f dB, THD %.1f dB, ENOB %.2f bits\n",
 			res.SNDRdB, res.SFDRdB, res.THDdB, res.ENOB)
 
 		verdict := "fit for BIST duty"
 		if res.SNDRdB < 40 {
 			verdict = "REJECT: would corrupt every downstream Tx measurement"
 		}
-		fmt.Printf("  verdict: %s\n\n", verdict)
+		fmt.Fprintf(w, "  verdict: %s\n\n", verdict)
 	}
+	return nil
 }

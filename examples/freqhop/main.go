@@ -9,8 +9,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"repro/internal/dsp"
 	"repro/internal/pnbs"
@@ -19,6 +21,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	fc := 1e9
 	band := pnbs.Band{FLow: 955e6, B: 90e6}
 	dwell := 2e-6 // 2 us per hop
@@ -44,7 +52,7 @@ func main() {
 
 	tx, err := rf.NewTransmitter(rf.TxConfig{Fc: fc}, hopEnv)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Nonuniform capture: two 90 MS/s channels, D = 180 ps.
@@ -60,7 +68,7 @@ func main() {
 	}
 	rec, err := pnbs.NewReconstructor(band, d, 0, ch0, ch1, pnbs.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Reconstructed complex envelope on a uniform grid: mix at 4x
@@ -78,28 +86,29 @@ func main() {
 	}
 	lpf, err := dsp.DesignLowpass(91, 0.45/over, dsp.KaiserWin, dsp.KaiserBeta(70))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	env := lpf.Decimate(raw, over)
 	// Spectrogram and hop track.
 	sg, err := dsp.STFT(env, fs, 128, 32)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	track := sg.PeakTrack()
 
-	fmt.Println("reconstructed hop sequence (time -> offset from carrier):")
+	fmt.Fprintln(w, "reconstructed hop sequence (time -> offset from carrier):")
 	lastHop := math.Inf(1)
 	for i, tv := range sg.Times {
 		f := track[i]
 		if math.Abs(f-lastHop) > 5e6 {
-			fmt.Printf("  t = %6.2f us: %+6.1f MHz\n", (lo+tv)*1e6, f/1e6)
+			fmt.Fprintf(w, "  t = %6.2f us: %+6.1f MHz\n", (lo+tv)*1e6, f/1e6)
 			lastHop = f
 		}
 	}
-	fmt.Println("\nprogrammed dwell plan:")
+	fmt.Fprintln(w, "\nprogrammed dwell plan:")
 	for k, h := range hops {
-		fmt.Printf("  t = %6.2f us: %+6.1f MHz\n", float64(k)*dwell*1e6, h/1e6)
+		fmt.Fprintf(w, "  t = %6.2f us: %+6.1f MHz\n", float64(k)*dwell*1e6, h/1e6)
 	}
-	fmt.Println("\nThe BIST recovered the hop plan from 2 x 90 MS/s captures of a 1 GHz signal.")
+	fmt.Fprintln(w, "\nThe BIST recovered the hop plan from 2 x 90 MS/s captures of a 1 GHz signal.")
+	return nil
 }

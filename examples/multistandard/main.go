@@ -7,13 +7,21 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/pnbs"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	for _, cfg := range core.MultistandardScenarios() {
 		// Demo-friendly sizes.
 		cfg.CaptureLen = 1100
@@ -23,33 +31,34 @@ func main() {
 
 		b, err := core.New(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		band := b.Band()
-		fmt.Printf("=== %s %.3g Msym/s @ %.3g GHz (B = %.0f MHz) ===\n",
+		fmt.Fprintf(w, "=== %s %.3g Msym/s @ %.3g GHz (B = %.0f MHz) ===\n",
 			cfg.Constellation, cfg.SymbolRate/1e6, cfg.Fc/1e9, cfg.B/1e6)
 
 		// What PBS would need for the same observation.
 		win, err := pnbs.MinAliasFreeRate(band)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  PBS: best alias-free rate %.4f MHz, clock budget +-%.1f kHz\n",
+		fmt.Fprintf(w, "  PBS: best alias-free rate %.4f MHz, clock budget +-%.1f kHz\n",
 			win.Lo/1e6, pnbs.RequiredClockPrecision(win)/1e3)
-		fmt.Printf("  PNBS: two channels at %.0f MS/s each (theoretical minimum), any band position\n",
+		fmt.Fprintf(w, "  PNBS: two channels at %.0f MS/s each (theoretical minimum), any band position\n",
 			cfg.B/1e6)
 
 		rep, err := b.Run()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		maskState := "skipped"
 		if rep.Mask != nil {
 			maskState = fmt.Sprintf("%v (worst margin %+.1f dB)", rep.Mask.Pass, rep.Mask.WorstMarginDB)
 		}
-		fmt.Printf("  delay: programmed %.1f ps, estimated %.2f ps (err %.2f ps, %d iters)\n",
+		fmt.Fprintf(w, "  delay: programmed %.1f ps, estimated %.2f ps (err %.2f ps, %d iters)\n",
 			rep.DNominal*1e12, rep.DHat*1e12, rep.SkewErrPS(), rep.LMS.Iterations)
-		fmt.Printf("  reconstruction error %.2f %%, mask %s\n\n",
+		fmt.Fprintf(w, "  reconstruction error %.2f %%, mask %s\n\n",
 			100*rep.ReconRelErr, maskState)
 	}
+	return nil
 }

@@ -6,8 +6,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"repro/internal/modem"
 	"repro/internal/pnbs"
@@ -15,22 +17,28 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// 1. Build the paper's test signal: 10 MHz QPSK symbols, SRRC with
 	//    roll-off 0.5, carrier 1 GHz.
 	pulse, err := modem.NewSRRC(100e-9, 0.5, 8)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	symbols := modem.QPSK.RandomSymbols(64, 42)
 	baseband, err := modem.NewShapedEnvelope(symbols, pulse, true)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rf := &sig.Passband{Env: baseband, Fc: 1e9}
 
 	// 2. Describe the capture band: fc = 1 GHz, B = 90 MHz.
 	band := pnbs.Band{FLow: 955e6, B: 90e6}
-	fmt.Printf("band: fl = %.0f MHz, B = %.0f MHz, k = %d, optimal D = %.0f ps\n",
+	fmt.Fprintf(w, "band: fl = %.0f MHz, B = %.0f MHz, k = %d, optimal D = %.0f ps\n",
 		band.FLow/1e6, band.B/1e6, band.K(), band.OptimalD()*1e12)
 
 	// 3. Sample nonuniformly: two uniform sets f(nT) and f(nT + D), each at
@@ -49,10 +57,10 @@ func main() {
 	//    check the waveform at instants the sampler never touched.
 	rec, err := pnbs.NewReconstructor(band, d, 0, ch0, ch1, pnbs.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	lo, hi := rec.ValidRange()
-	fmt.Printf("reconstruction valid over [%.0f, %.0f] ns\n", lo*1e9, hi*1e9)
+	fmt.Fprintf(w, "reconstruction valid over [%.0f, %.0f] ns\n", lo*1e9, hi*1e9)
 
 	worst := 0.0
 	for i := 0; i < 200; i++ {
@@ -61,11 +69,12 @@ func main() {
 			worst = e
 		}
 	}
-	fmt.Printf("worst-case reconstruction error: %.2e (carrier cycles were never sampled uniformly)\n", worst)
+	fmt.Fprintf(w, "worst-case reconstruction error: %.2e (carrier cycles were never sampled uniformly)\n", worst)
 
 	// 5. Show what the delay estimate accuracy must be (paper Eq. 4).
 	for _, pct := range []float64{0.01, 0.001} {
-		fmt.Printf("delay accuracy for %.1f%% spectral error: %.2f ps\n",
+		fmt.Fprintf(w, "delay accuracy for %.1f%% spectral error: %.2f ps\n",
 			100*pct, pnbs.DeltaDFor(band, pct)*1e12)
 	}
+	return nil
 }

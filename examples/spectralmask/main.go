@@ -8,12 +8,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	base := core.PaperScenario()
 	// Keep runtime friendly for a demo.
 	base.CaptureLen = 1400
@@ -21,30 +29,36 @@ func main() {
 	base.PSDLen = 1024
 	base.SegLen = 256
 
-	run := func(label string, mutate func(*core.Config)) {
+	runUnit := func(label string, mutate func(*core.Config)) error {
 		cfg := base
 		if mutate != nil {
 			mutate(&cfg)
 		}
 		b, err := core.New(cfg)
 		if err != nil {
-			log.Fatalf("%s: %v", label, err)
+			return fmt.Errorf("%s: %w", label, err)
 		}
 		rep, err := b.Run()
 		if err != nil {
-			log.Fatalf("%s: %v", label, err)
+			return fmt.Errorf("%s: %w", label, err)
 		}
-		fmt.Printf("--- unit: %s ---\n%s\n", label, rep.Summary())
+		fmt.Fprintf(w, "--- unit: %s ---\n%s\n", label, rep.Summary())
+		return nil
 	}
 
-	run("healthy", nil)
+	if err := runUnit("healthy", nil); err != nil {
+		return err
+	}
 	for _, f := range core.Catalog() {
 		f := f
 		expect := "must pass (benign)"
 		if f.ShouldFail {
 			expect = "must fail"
 		}
-		fmt.Printf(">>> injecting %s — %s (%s)\n", f.Name, f.Description, expect)
-		run(f.Name, f.Apply)
+		fmt.Fprintf(w, ">>> injecting %s — %s (%s)\n", f.Name, f.Description, expect)
+		if err := runUnit(f.Name, f.Apply); err != nil {
+			return err
+		}
 	}
+	return nil
 }

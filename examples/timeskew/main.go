@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -15,6 +17,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	setup := experiments.DefaultPaperSetup()
 
 	// Build the paper's transmitter (10 MHz QPSK at 1 GHz) via the BIST
@@ -22,36 +30,37 @@ func main() {
 	cfg := core.PaperScenario()
 	b, err := core.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	setB, setB1, actualD, err := setup.AcquireDualRate(b.Transmitter().Output(), 300)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("true (hidden) delay: %.3f ps\n", actualD*1e12)
+	fmt.Fprintf(w, "true (hidden) delay: %.3f ps\n", actualD*1e12)
 
 	ce, err := setup.Evaluator(setB, setB1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("search interval: ]0, %.0f ps[ (m from Section IV-A)\n", ce.M()*1e12)
+	fmt.Fprintf(w, "search interval: ]0, %.0f ps[ (m from Section IV-A)\n", ce.M()*1e12)
 
 	// Run Algorithm 1 from wildly wrong starting guesses.
 	for _, d0 := range []float64{50e-12, 100e-12, 350e-12, 400e-12} {
 		res, err := skew.Estimate(ce, d0, skew.LMSConfig{Mu0: 1e-12})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("D0 = %3.0f ps -> D-hat = %.3f ps  (err %.3f ps, %2d iterations, %d cost evals)\n",
+		fmt.Fprintf(w, "D0 = %3.0f ps -> D-hat = %.3f ps  (err %.3f ps, %2d iterations, %d cost evals)\n",
 			d0*1e12, res.DHat*1e12, (res.DHat-actualD)*1e12, res.Iterations, res.CostEvals)
-		fmt.Print("  cost trace:")
+		fmt.Fprint(w, "  cost trace:")
 		for i, c := range res.CostHistory {
 			if i > 8 {
-				fmt.Print(" ...")
+				fmt.Fprint(w, " ...")
 				break
 			}
-			fmt.Printf(" %.3g", c)
+			fmt.Fprintf(w, " %.3g", c)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	return nil
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCatalogEntriesWellFormed: every fault must have a unique name, a
+// description, and an Apply that actually changes the configuration —
+// otherwise escape analysis silently tests the healthy unit twice.
+func TestCatalogEntriesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Catalog() {
+		if f.Name == "" || f.Description == "" {
+			t.Errorf("fault %+v missing name or description", f)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate fault name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Apply == nil {
+			t.Errorf("%s: nil Apply", f.Name)
+			continue
+		}
+		healthy := PaperScenario()
+		faulty := PaperScenario()
+		f.Apply(&faulty)
+		if reflect.DeepEqual(healthy, faulty) {
+			t.Errorf("%s: Apply left the configuration unchanged", f.Name)
+		}
+	}
+}
+
+// TestCatalogConfigsConstructible: every faulty configuration must still be
+// accepted by New — a fault models a broken DUT, not a broken simulation.
+func TestCatalogConfigsConstructible(t *testing.T) {
+	for _, f := range Catalog() {
+		cfg := PaperScenario()
+		f.Apply(&cfg)
+		if _, err := New(cfg); err != nil {
+			t.Errorf("%s: New rejected the faulty config: %v", f.Name, err)
+		}
+	}
+}
+
+func TestFaultByName(t *testing.T) {
+	for _, f := range Catalog() {
+		got, err := FaultByName(f.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if got.Name != f.Name || got.ShouldFail != f.ShouldFail {
+			t.Errorf("%s: lookup returned %q/%v", f.Name, got.Name, got.ShouldFail)
+		}
+	}
+	if _, err := FaultByName("no-such-fault"); err == nil {
+		t.Error("unknown fault name must fail")
+	}
+}
+
+// TestCatalogFailureBalance: the library must exercise both sides of the
+// escape/false-alarm analysis.
+func TestCatalogFailureBalance(t *testing.T) {
+	var fail, benign int
+	for _, f := range Catalog() {
+		if f.ShouldFail {
+			fail++
+		} else {
+			benign++
+		}
+	}
+	if fail == 0 || benign == 0 {
+		t.Errorf("catalogue unbalanced: %d must-fail, %d benign", fail, benign)
+	}
+}

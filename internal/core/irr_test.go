@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWindowedPhasorMag: a unit complex tone at nu must measure 1; an
+// off-bin probe must measure (near) 0; the empty input is defined as 0.
+func TestWindowedPhasorMag(t *testing.T) {
+	n := 256
+	nu := 10.0 / float64(n)
+	x := make([]complex128, n)
+	for i := range x {
+		s, c := math.Sincos(2 * math.Pi * nu * float64(i))
+		x[i] = complex(c, s)
+	}
+	if got := windowedPhasorMag(x, nu); math.Abs(got-1) > 1e-3 {
+		t.Errorf("on-tone magnitude %g, want 1", got)
+	}
+	if got := windowedPhasorMag(x, -nu); got > 1e-3 {
+		t.Errorf("image probe on a clean tone measured %g, want ~0", got)
+	}
+	if got := windowedPhasorMag(nil, 0.1); got != 0 {
+		t.Errorf("empty input measured %g, want 0", got)
+	}
+}
+
+// TestRunIRRTestHealthy: a clean modulator must report a large image
+// rejection (the 1e-8 floor caps it at 160 dB) and strongly negative LO
+// leakage.
+func TestRunIRRTestHealthy(t *testing.T) {
+	cfg := PaperScenario()
+	cfg.CaptureLen = 1100
+	cfg.NTimes = 150
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irr, leak, err := b.RunIRRTest(cfg.NominalD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irr < 40 {
+		t.Errorf("healthy modulator IRR %.1f dB, want >= 40", irr)
+	}
+	if leak > -40 {
+		t.Errorf("healthy modulator LO leakage %.1f dBc, want <= -40", leak)
+	}
+}
+
+// TestRunIRRTestImbalanced: a gross quadrature error must collapse the
+// measured IRR well below the healthy figure.
+func TestRunIRRTestImbalanced(t *testing.T) {
+	cfg := PaperScenario()
+	cfg.CaptureLen = 1100
+	cfg.NTimes = 150
+	fault, err := FaultByName("iq-imbalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Apply(&cfg)
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irr, _, err := b.RunIRRTest(cfg.NominalD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irr > 30 {
+		t.Errorf("2 dB / 12 deg imbalance still measured IRR %.1f dB, want < 30", irr)
+	}
+}

@@ -1,0 +1,169 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// Metamorphic properties of the transform substrate across randomized
+// lengths, deliberately including non-powers of two so the Bluestein path
+// sits under the same net as radix-2.
+
+var metamorphicLengths = []int{5, 8, 12, 16, 27, 31, 64, 100, 128}
+
+func randVec(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTParsevalAllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range metamorphicLengths {
+		x := randVec(n, rng)
+		var pt, pf float64
+		for _, v := range x {
+			pt += real(v)*real(v) + imag(v)*imag(v)
+		}
+		for _, v := range FFT(x) {
+			pf += real(v)*real(v) + imag(v)*imag(v)
+		}
+		pf /= float64(n)
+		if math.Abs(pt-pf) > 1e-9*(pt+1) {
+			t.Errorf("n=%d: Parseval violated: %g vs %g", n, pt, pf)
+		}
+	}
+}
+
+func TestFFTLinearityAllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for _, n := range metamorphicLengths {
+		a := randVec(n, rng)
+		b := randVec(n, rng)
+		alpha := complex(rng.NormFloat64(), rng.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + alpha*b[i]
+		}
+		fa, fb, fs := FFT(a), FFT(b), FFT(sum)
+		for i := range fs {
+			if cmplx.Abs(fs[i]-(fa[i]+alpha*fb[i])) > 1e-8*float64(n) {
+				t.Errorf("n=%d bin %d: linearity violated", n, i)
+				break
+			}
+		}
+	}
+}
+
+// TestFFTTimeShiftTheorem: circularly delaying x by s multiplies bin k by
+// exp(-i 2 pi k s / N).
+func TestFFTTimeShiftTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for _, n := range metamorphicLengths {
+		x := randVec(n, rng)
+		s := 1 + rng.Intn(n-1)
+		shifted := make([]complex128, n)
+		for i := range shifted {
+			shifted[i] = x[((i-s)%n+n)%n]
+		}
+		fx, fs := FFT(x), FFT(shifted)
+		for k := range fx {
+			phi := -2 * math.Pi * float64(k) * float64(s) / float64(n)
+			sn, cs := math.Sincos(phi)
+			want := fx[k] * complex(cs, sn)
+			if cmplx.Abs(fs[k]-want) > 1e-8*(1+cmplx.Abs(fx[k]))*float64(n) {
+				t.Errorf("n=%d shift=%d bin %d: %v, want %v", n, s, k, fs[k], want)
+				break
+			}
+		}
+	}
+}
+
+// TestFFTConjugateSymmetryAllLengths: a real input spectrum satisfies
+// X[(N-k) mod N] = conj(X[k]) on both transform paths.
+func TestFFTConjugateSymmetryAllLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for _, n := range metamorphicLengths {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		X := RealFFT(x)
+		for k := range X {
+			mirror := X[(n-k)%n]
+			if cmplx.Abs(mirror-cmplx.Conj(X[k])) > 1e-8*(1+cmplx.Abs(X[k]))*float64(n) {
+				t.Errorf("n=%d bin %d: conjugate symmetry violated", n, k)
+				break
+			}
+		}
+	}
+}
+
+// TestResampleIdentity: the L == M resampler must be the identity to within
+// sinc rounding — its prototype collapses to a near-unit impulse (sin(pi k)
+// leaves ~1e-17 residue off-centre).
+func TestResampleIdentity(t *testing.T) {
+	r, err := NewResampler(1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(105))
+	x := make([]float64, 257)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := r.Apply(x)
+	if len(y) != len(x) {
+		t.Fatalf("identity resampler changed length: %d -> %d", len(x), len(y))
+	}
+	for i := range y {
+		if math.Abs(y[i]-x[i]) > 1e-12*(1+math.Abs(x[i])) {
+			t.Fatalf("identity resampler altered sample %d: %g -> %g", i, x[i], y[i])
+		}
+	}
+	// The reduction path must behave the same: 3/3 == 1/1.
+	r33, err := NewResampler(3, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r33.L != 1 || r33.M != 1 {
+		t.Errorf("3/3 not reduced: L=%d M=%d", r33.L, r33.M)
+	}
+}
+
+// TestResampleRoundTripBandlimited: upsampling by 2 then decimating by 2
+// must return a bandlimited signal to itself within the prototype's
+// stopband leakage, away from the edges.
+func TestResampleRoundTripBandlimited(t *testing.T) {
+	up, err := NewResampler(2, 1, 16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := NewResampler(1, 2, 16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 400
+	x := make([]float64, n)
+	for i := range x {
+		tv := float64(i)
+		x[i] = math.Sin(2*math.Pi*0.04*tv) + 0.5*math.Cos(2*math.Pi*0.11*tv+0.3)
+	}
+	y := down.Apply(up.Apply(x))
+	if len(y) < n {
+		t.Fatalf("roundtrip shortened signal: %d -> %d", n, len(y))
+	}
+	worst := 0.0
+	for i := n / 4; i < 3*n/4; i++ { // interior: clear of kernel edge effects
+		if d := math.Abs(y[i] - x[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2e-3 {
+		t.Errorf("roundtrip interior error %g exceeds 2e-3", worst)
+	}
+}

@@ -31,12 +31,47 @@ type AblateResult struct {
 	GoldenErrPS, LMSErrPS float64
 }
 
-// RunAblate executes the sweep. Each design point runs the full
-// acquire -> evaluate -> estimate pipeline on the paper scenario.
+// AblateSweep configures the RunAblate design grids. The zero value of a
+// list skips that sweep; DefaultAblateSweep reproduces the paper-scale run.
+type AblateSweep struct {
+	// HalfTaps, KaiserBeta, NTimes and Jitter are the per-parameter value
+	// grids (jitter in seconds rms).
+	HalfTaps   []int
+	KaiserBeta []float64
+	NTimes     []int
+	Jitter     []float64
+	// BaseNTimes overrides the cost-sample count for every design point
+	// outside the NTimes sweep and for the minimiser duel (0 = the paper's
+	// 300). Smaller values trade estimate variance for speed; the golden
+	// regression test runs the sweep at BaseNTimes = 60.
+	BaseNTimes int
+}
+
+// DefaultAblateSweep returns the grids DESIGN.md calls out, centred on the
+// paper's operating point.
+func DefaultAblateSweep() AblateSweep {
+	return AblateSweep{
+		HalfTaps:   []int{10, 20, 30, 45, 60},
+		KaiserBeta: []float64{-1, 4, 6, 8, 10, 12},
+		NTimes:     []int{50, 100, 200, 300, 500},
+		Jitter:     []float64{0, 1e-12, 3e-12, 6e-12, 10e-12},
+	}
+}
+
+// RunAblate executes the full default sweep. Each design point runs the
+// complete acquire -> evaluate -> estimate pipeline on the paper scenario.
 func RunAblate() (*AblateResult, error) {
+	return RunAblateSweep(DefaultAblateSweep())
+}
+
+// RunAblateSweep executes the sweep over the given grids.
+func RunAblateSweep(cfg AblateSweep) (*AblateResult, error) {
 	res := &AblateResult{}
 	runPoint := func(param string, value float64, mutate func(s *PaperSetup)) error {
 		s := DefaultPaperSetup()
+		if cfg.BaseNTimes > 0 {
+			s.NTimes = cfg.BaseNTimes
+		}
 		mutate(&s)
 		tx, err := s.buildTx()
 		if err != nil {
@@ -87,7 +122,7 @@ func RunAblate() (*AblateResult, error) {
 		return nil
 	}
 
-	for _, ht := range []int{10, 20, 30, 45, 60} {
+	for _, ht := range cfg.HalfTaps {
 		ht := ht
 		if err := runPoint("halfTaps", float64(ht), func(s *PaperSetup) { s.HalfTaps = ht }); err != nil {
 			return nil, err
@@ -95,19 +130,19 @@ func RunAblate() (*AblateResult, error) {
 	}
 	// -1 is the rectangular (untapered) design point: KaiserBeta < 0
 	// disables the taper, quantifying what the window buys.
-	for _, kb := range []float64{-1, 4, 6, 8, 10, 12} {
+	for _, kb := range cfg.KaiserBeta {
 		kb := kb
 		if err := runPoint("kaiserBeta", kb, func(s *PaperSetup) { s.KaiserBeta = kb }); err != nil {
 			return nil, err
 		}
 	}
-	for _, nt := range []int{50, 100, 200, 300, 500} {
+	for _, nt := range cfg.NTimes {
 		nt := nt
 		if err := runPoint("nTimes", float64(nt), func(s *PaperSetup) { s.NTimes = nt }); err != nil {
 			return nil, err
 		}
 	}
-	for _, jit := range []float64{0, 1e-12, 3e-12, 6e-12, 10e-12} {
+	for _, jit := range cfg.Jitter {
 		jit := jit
 		if err := runPoint("jitterPS", jit*1e12, func(s *PaperSetup) { s.JitterRMS = jit }); err != nil {
 			return nil, err
@@ -116,6 +151,9 @@ func RunAblate() (*AblateResult, error) {
 
 	// Minimiser comparison at the operating point.
 	s := DefaultPaperSetup()
+	if cfg.BaseNTimes > 0 {
+		s.NTimes = cfg.BaseNTimes
+	}
 	tx, err := s.buildTx()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// The golden regression net: every experiments.Run* entry point runs at a
+// reduced-scale configuration (each well under a second) and is compared
+// field-by-field against a committed vector. Regenerate after an intended
+// behaviour change with
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// and review the diff like any other code change — the diff IS the
+// experiment-output change the PR ships.
+func goldenCheck(t *testing.T, name string, v any, opt testkit.Options) {
+	t.Helper()
+	testkit.Golden(t, filepath.Join("testdata", "golden", name+".json"), v, opt)
+}
+
+// goldenSetup is the reduced-scale PaperSetup shared by the capture-based
+// goldens: the paper geometry with fewer cost instants.
+func goldenSetup() PaperSetup {
+	s := DefaultPaperSetup()
+	s.NTimes = 60
+	return s
+}
+
+func TestGoldenFig3a(t *testing.T) {
+	goldenCheck(t, "fig3a", RunFig3a(3, 21), testkit.DefaultOptions())
+}
+
+func TestGoldenFig3b(t *testing.T) {
+	r, err := RunFig3b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "fig3b", r, testkit.DefaultOptions())
+}
+
+func TestGoldenFig5(t *testing.T) {
+	r, err := RunFig5(goldenSetup(), 0, 0, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "fig5", r, testkit.DefaultOptions())
+}
+
+func TestGoldenFig6(t *testing.T) {
+	r, err := RunFig6(goldenSetup(), []float64{100e-12, 350e-12}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The LMS trace tail is the most FP-sensitive number in the repo (a
+	// gradient ratio near the cost minimum), so the history gets a looser
+	// relative band than the headline estimate.
+	opt := testkit.DefaultOptions()
+	opt.Rules = []testkit.Rule{
+		{Pattern: "Traces/*/Result/CostHistory/**", Tol: testkit.Tol{Rel: 1e-6}},
+		{Pattern: "Traces/*/Result/DHistory/**", Tol: testkit.Tol{Rel: 1e-6, Abs: 1e-16}},
+	}
+	goldenCheck(t, "fig6", r, opt)
+}
+
+func TestGoldenTable1(t *testing.T) {
+	r, err := RunTable1(goldenSetup(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "table1", r, testkit.DefaultOptions())
+}
+
+func TestGoldenEq4(t *testing.T) {
+	r, err := RunEq4([]float64{1e-12, 4e-12, 16e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "eq4", r, testkit.DefaultOptions())
+}
+
+func TestGoldenDSweep(t *testing.T) {
+	r, err := RunDSweep(DefaultPaperSetup().BandB, 0, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "dsweep", r, testkit.DefaultOptions())
+}
+
+func TestGoldenAveraging(t *testing.T) {
+	r, err := RunAveraging([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "averaging", r, testkit.DefaultOptions())
+}
+
+func TestGoldenNoiseFold(t *testing.T) {
+	r, err := RunNoiseFold(0.9e9, 1.9e9, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "noisefold", r, testkit.DefaultOptions())
+}
+
+func TestGoldenYield(t *testing.T) {
+	r, err := RunYieldExperiment(4, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "yield", r, testkit.DefaultOptions())
+}
+
+func TestGoldenMaskBIST(t *testing.T) {
+	r, err := RunMaskBIST(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "maskbist", r, testkit.DefaultOptions())
+}
+
+func TestGoldenFlex(t *testing.T) {
+	r, err := RunFlex(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "flex", r, testkit.DefaultOptions())
+}
+
+func TestGoldenAblate(t *testing.T) {
+	// One value per grid around the operating point keeps the sweep under a
+	// second; RunAblate()'s full default grid stays covered by
+	// TestRunAblateShape.
+	r, err := RunAblateSweep(AblateSweep{
+		HalfTaps:   []int{30},
+		KaiserBeta: []float64{-1, 8},
+		NTimes:     []int{60},
+		Jitter:     []float64{0, 3e-12},
+		BaseNTimes: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "ablate", r, testkit.DefaultOptions())
+}
+
+func TestGoldenLoopback(t *testing.T) {
+	r, err := RunLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "loopback", r, testkit.DefaultOptions())
+}
+
+func TestGoldenFilterResp(t *testing.T) {
+	r, err := RunFilterResp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "filterresp", r, testkit.DefaultOptions())
+}

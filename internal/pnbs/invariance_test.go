@@ -1,0 +1,69 @@
+package pnbs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// The PNBS reconstruction must be a pure function of (capture, delay,
+// instant): evaluating a batch in any order, at any pool width, must yield
+// bit-identical values per instant. These are the metamorphic guarantees
+// the parallel experiment runners rely on.
+
+func invarianceFixture(t *testing.T) (*Reconstructor, []float64) {
+	t.Helper()
+	band := Band{FLow: 955e6, B: 90e6}
+	d := 180e-12
+	ch0, ch1 := toneCapture(band, d, 300)
+	r, err := NewReconstructor(band, d, 0, ch0, ch1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := r.ValidRange()
+	rng := rand.New(rand.NewSource(7))
+	ts := make([]float64, 193)
+	for i := range ts {
+		ts[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return r, ts
+}
+
+func TestAtTimesPermutationInvariance(t *testing.T) {
+	r, ts := invarianceFixture(t)
+	base := r.AtTimes(ts)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(ts))
+		shuffled := make([]float64, len(ts))
+		for i, j := range perm {
+			shuffled[i] = ts[j]
+		}
+		got := r.AtTimes(shuffled)
+		for i, j := range perm {
+			if got[i] != base[j] {
+				t.Fatalf("trial %d: At(ts[%d]) = %g via permutation, %g in order",
+					trial, j, got[i], base[j])
+			}
+		}
+	}
+}
+
+func TestAtTimesWorkerCountInvariance(t *testing.T) {
+	r, ts := invarianceFixture(t)
+	serial := make([]float64, len(ts))
+	for i, tv := range ts {
+		serial[i] = r.At(tv)
+	}
+	for _, w := range []int{1, 2, 3, 8, 16} {
+		prev := par.SetWorkers(w)
+		got := r.AtTimes(ts)
+		par.SetWorkers(prev)
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: AtTimes[%d] = %g, serial %g", w, i, got[i], serial[i])
+			}
+		}
+	}
+}

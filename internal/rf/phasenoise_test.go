@@ -1,0 +1,82 @@
+package rf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sig"
+)
+
+// TestPhaseNoiseRMSMatchesTimeAverage: the analytic RMSRadians (sum of tone
+// powers) must agree with a long time average of Phi^2 — the tones are
+// incoherent, so cross terms average out.
+func TestPhaseNoiseRMSMatchesTimeAverage(t *testing.T) {
+	pn, err := NewPhaseNoise([]float64{1e4, 1e6}, []float64{-70, -90}, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pn.RMSRadians()
+	n := 200000
+	dt := 1e-7 // 20 ms span: ~200 periods of the slowest tone
+	var acc float64
+	for i := 0; i < n; i++ {
+		v := pn.Phi(float64(i) * dt)
+		acc += v * v
+	}
+	got := math.Sqrt(acc / float64(n))
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("time-averaged RMS %g vs analytic %g", got, want)
+	}
+}
+
+// TestPhaseNoiseDefaultTones: nTones < 2 must fall back to the 64-tone
+// default rather than building a degenerate process.
+func TestPhaseNoiseDefaultTones(t *testing.T) {
+	pn, err := NewPhaseNoise([]float64{1e4, 1e6}, []float64{-70, -90}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pn.freqs) != 64 {
+		t.Errorf("default tone count %d, want 64", len(pn.freqs))
+	}
+}
+
+// TestPhaseNoiseApplyEnvRotation: ApplyEnv must rotate the envelope by
+// exactly Phi(t) without changing its magnitude.
+func TestPhaseNoiseApplyEnvRotation(t *testing.T) {
+	pn, err := NewPhaseNoise([]float64{1e4, 1e5}, []float64{-40, -60}, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sig.EnvelopeFunc(func(t float64) complex128 { return complex(0.7, -0.2) })
+	rot := pn.ApplyEnv(env)
+	for _, tv := range []float64{0, 1.3e-6, 7.7e-5} {
+		phi := pn.Phi(tv)
+		s, c := math.Sincos(phi)
+		want := env.At(tv) * complex(c, s)
+		got := rot.At(tv)
+		if d := got - want; math.Hypot(real(d), imag(d)) > 1e-12 {
+			t.Errorf("t=%g: rotated %v, want %v", tv, got, want)
+		}
+	}
+}
+
+// TestInterpMaskDBClamps: outside the specified offsets the mask clamps to
+// its end values; inside it interpolates monotonically in log-f.
+func TestInterpMaskDBClamps(t *testing.T) {
+	offsets := []float64{1e4, 1e5, 1e6}
+	levels := []float64{-60, -80, -100}
+	if got := interpMaskDB(offsets, levels, 1e3); got != -60 {
+		t.Errorf("below-range clamp %g, want -60", got)
+	}
+	if got := interpMaskDB(offsets, levels, 1e7); got != -100 {
+		t.Errorf("above-range clamp %g, want -100", got)
+	}
+	// Log-midpoint of [1e4, 1e5] is sqrt(1e4*1e5): exactly half-way in dB.
+	if got := interpMaskDB(offsets, levels, math.Sqrt(1e4*1e5)); math.Abs(got+70) > 1e-9 {
+		t.Errorf("log-midpoint %g, want -70", got)
+	}
+	if got := interpMaskDB(offsets, levels, 1e5); got != -80 {
+		t.Errorf("knot value %g, want -80", got)
+	}
+}

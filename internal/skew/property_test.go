@@ -1,0 +1,89 @@
+package skew
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/pnbs"
+)
+
+// Metamorphic properties of the dual-rate cost: Eq. (7) is a MEAN over the
+// evaluation instants, so the objective cannot depend on the order the
+// instants are listed in (beyond FP summation noise), and — per the par
+// determinism contract — cannot depend on the pool width at all.
+
+// permutedEvaluator builds two evaluators over the same captures whose
+// instants are permutations of each other.
+func permutedEvaluator(t *testing.T, seed int64) (*CostEvaluator, *CostEvaluator) {
+	t.Helper()
+	bandB, bandB1 := paperBands()
+	d := 180e-12
+	setB := idealSet(bandB, 0, d, 220)
+	setB1 := idealSet(bandB1, -300e-9, d, 130)
+	times := RandomTimes(470e-9, 1700e-9, 120, 1)
+	perm := rand.New(rand.NewSource(seed)).Perm(len(times))
+	shuffled := make([]float64, len(times))
+	for i, j := range perm {
+		shuffled[i] = times[j]
+	}
+	ce, err := NewCostEvaluator(setB, setB1, times, pnbs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewCostEvaluator(setB, setB1, shuffled, pnbs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ce, cp
+}
+
+func TestCostInstantPermutationInvariance(t *testing.T) {
+	ce, cp := permutedEvaluator(t, 23)
+	for _, dHat := range []float64{90e-12, 180e-12, 310e-12} {
+		a, err := ce.Cost(dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cp.Cost(dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd := relDiff(a, b); rd > 1e-12 {
+			t.Errorf("dHat %g: cost %g (ordered) vs %g (permuted), rel %g", dHat, a, b, rd)
+		}
+	}
+}
+
+func TestCostWorkerCountInvarianceExact(t *testing.T) {
+	ce := paperEvaluator(t, 180e-12)
+	dHats := []float64{60e-12, 180e-12, 350e-12}
+	// Reference at one worker, then the same evaluator across pool widths:
+	// the fold is index-ordered, so equality is exact, not approximate.
+	ref := make([]float64, len(dHats))
+	prev := par.SetWorkers(1)
+	for i, dHat := range dHats {
+		v, err := ce.Cost(dHat)
+		if err != nil {
+			par.SetWorkers(prev)
+			t.Fatal(err)
+		}
+		ref[i] = v
+	}
+	par.SetWorkers(prev)
+	for _, w := range []int{2, 3, 5, 16} {
+		prev := par.SetWorkers(w)
+		for i, dHat := range dHats {
+			v, err := ce.Cost(dHat)
+			if err != nil {
+				par.SetWorkers(prev)
+				t.Fatal(err)
+			}
+			if v != ref[i] {
+				par.SetWorkers(prev)
+				t.Fatalf("workers=%d dHat=%g: cost %g != one-worker %g", w, dHat, v, ref[i])
+			}
+		}
+		par.SetWorkers(prev)
+	}
+}
