@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-hot cover fuzz-smoke golden-update
+.PHONY: all build test vet race check bench bench-hot bench-fft cover fuzz-smoke golden-update
 
 # Committed coverage floor (percent of statements): `make cover` fails when
 # total coverage drops below this.
@@ -39,6 +39,13 @@ bench-hot:
 	$(GO) test -run='^$$' -benchtime=3x -benchmem \
 		-bench='BenchmarkFig5$$|BenchmarkFig6$$|BenchmarkTable1$$|BenchmarkCostEvaluation$$|BenchmarkReconstructorAt61Taps$$|BenchmarkKaiserWindow$$|BenchmarkYield$$' .
 
+# bench-fft covers the plan-based transform engine and the Welch estimator
+# built on it. Compare against BENCH_plans.json (before/after for the plan
+# migration); BenchmarkFFTPlan* must report 0 allocs/op in steady state.
+bench-fft:
+	$(GO) test -run='^$$' -benchmem \
+		-bench='BenchmarkFFTPlan1024$$|BenchmarkFFTPlan4096$$|BenchmarkFFTPlanOdd1000$$|BenchmarkWelch64k$$|BenchmarkWelchPSD$$|BenchmarkFFT4096$$' .
+
 # cover measures total statement coverage and fails below COVER_FLOOR.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -51,6 +58,7 @@ cover:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFFTRoundtrip -fuzztime=10s ./internal/dsp
 	$(GO) test -run='^$$' -fuzz=FuzzBluesteinVsRadix2 -fuzztime=10s ./internal/dsp
+	$(GO) test -run='^$$' -fuzz=FuzzPlanVsDirect -fuzztime=10s ./internal/dsp
 	$(GO) test -run='^$$' -fuzz=FuzzFIRLinearity -fuzztime=10s ./internal/dsp
 	$(GO) test -run='^$$' -fuzz=FuzzReconstructRetune -fuzztime=10s ./internal/pnbs
 

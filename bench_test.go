@@ -259,6 +259,42 @@ func BenchmarkFFT4096(b *testing.B) {
 	}
 }
 
+// benchFFTPlan measures steady-state Execute on a cached plan: the
+// transform itself, with twiddle/permutation construction amortized away.
+func benchFFTPlan(b *testing.B, n int) {
+	p := dsp.PlanFFT(n)
+	src := make([]complex128, n)
+	for i := range src {
+		src[i] = complex(math.Sin(0.1*float64(i)), math.Cos(0.17*float64(i)))
+	}
+	buf := make([]complex128, n)
+	p.ExecuteInto(buf, src) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ExecuteInto(buf, src)
+	}
+}
+
+func BenchmarkFFTPlan1024(b *testing.B)    { benchFFTPlan(b, 1024) }
+func BenchmarkFFTPlan4096(b *testing.B)    { benchFFTPlan(b, 4096) }
+func BenchmarkFFTPlanOdd1000(b *testing.B) { benchFFTPlan(b, 1000) }
+
+func BenchmarkWelch64k(b *testing.B) {
+	x := make([]complex128, 1<<16)
+	for i := range x {
+		x[i] = complex(math.Sin(0.01*float64(i)), math.Cos(0.013*float64(i)))
+	}
+	cfg := dsp.DefaultWelch(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsp.WelchComplex(x, 1e6, 0, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkWelchPSD(b *testing.B) {
 	x := make([]complex128, 1<<14)
 	for i := range x {

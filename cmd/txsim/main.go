@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dsp"
 	"repro/internal/modem"
+	"repro/internal/par"
 	"repro/internal/rf"
 )
 
@@ -42,6 +43,7 @@ func run(args []string, out, diag io.Writer) error {
 	vsat := fs2.Float64("vsat", 1.0, "Rapp saturation amplitude")
 	evm := fs2.Bool("evm", false, "also measure EVM with an ideal receiver")
 	npsd := fs2.Int("npsd", 8192, "PSD sample count")
+	seg := fs2.Int("seg", 1024, "Welch segment length (frequency resolution vs variance)")
 	if err := fs2.Parse(args); err != nil {
 		return err
 	}
@@ -84,14 +86,16 @@ func run(args []string, out, diag io.Writer) error {
 	}
 	fmt.Fprintln(diag, tx.Describe())
 
-	// PSD of the output envelope at 4x the occupied bandwidth.
+	// PSD of the output envelope at 4x the occupied bandwidth. The envelope
+	// evaluations are independent per instant, so they fan out over the
+	// worker pool (the impairment chain is the per-sample hot path here).
 	fs := 4 * (*rate) * (1 + *alpha)
 	xs := make([]complex128, *npsd)
 	env := tx.OutputEnvelope()
-	for i := range xs {
+	par.For(len(xs), func(i int) {
 		xs[i] = env.At(float64(i) / fs)
-	}
-	spec, err := dsp.WelchComplex(xs, fs, *fc, dsp.DefaultWelch(1024))
+	})
+	spec, err := dsp.WelchComplex(xs, fs, *fc, dsp.DefaultWelch(*seg))
 	if err != nil {
 		return err
 	}

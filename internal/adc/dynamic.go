@@ -43,7 +43,10 @@ func DynamicTest(samples []float64, nu float64) (*DynamicResult, error) {
 	for i, v := range samples {
 		buf[i] = (v - mean) * win[i]
 	}
-	spec := dsp.RealFFT(buf)
+	// One-sided spectrum via the half-size real-FFT plan: bins above n/2
+	// are the conjugate mirror and carry no extra information for the
+	// power analysis below.
+	spec := dsp.RealFFTHalf(buf)
 	half := n / 2
 	power := make([]float64, half)
 	for k := 1; k < half; k++ {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dsp"
 	"repro/internal/mask"
+	"repro/internal/par"
 	"repro/internal/pnbs"
 	"repro/internal/sig"
 	"repro/internal/skew"
@@ -260,14 +261,17 @@ func (b *BIST) Reconstructor(setB skew.SampleSet, dHat float64) (*pnbs.Reconstru
 }
 
 // referencePSD measures the Welch PSD of the true Tx envelope on a uniform
-// grid (the "golden" instrument the BIST replaces).
+// grid (the "golden" instrument the BIST replaces). Envelope evaluations
+// are independent per instant, so they fan out over the par pool; each
+// grid point's value depends only on its own instant, keeping the result
+// identical at any worker count.
 func (b *BIST) referencePSD() (*dsp.Spectrum, error) {
 	c := b.cfg
 	env := b.tx.OutputEnvelope()
 	n := c.PSDLen
 	xs := make([]complex128, n)
-	for i := range xs {
+	par.For(n, func(i int) {
 		xs[i] = env.At(c.CaptureStart + float64(i)/c.B)
-	}
+	})
 	return dsp.WelchComplex(xs, c.B, c.Fc, dsp.DefaultWelch(c.SegLen))
 }

@@ -5,6 +5,11 @@ import "math"
 // bluestein computes the DFT (or un-normalised inverse DFT) of a for
 // arbitrary length using the chirp-z transform: the length-N DFT is expressed
 // as a convolution, which is evaluated with power-of-two FFTs.
+//
+// This is the direct evaluation — chirp and kernel rebuilt on every call —
+// retained as the oracle the cached Bluestein plans are fuzzed against
+// (FuzzPlanVsDirect); production callers go through Plan, which reproduces
+// this function bit for bit.
 func bluestein(a []complex128, inverse bool) []complex128 {
 	n := len(a)
 	if n < 2 {

@@ -32,38 +32,33 @@ func NextPowerOfTwo(n int) int {
 	return p
 }
 
-// FFT computes the in-place decimation-in-time radix-2 fast Fourier transform
-// of x when len(x) is a power of two, and falls back to the Bluestein
-// chirp-z algorithm otherwise. The input slice is not modified; a new slice
-// holding X[k] = sum_n x[n] exp(-i 2 pi k n / N) is returned.
+// FFT computes the fast Fourier transform of x: radix-2 for power-of-two
+// lengths, Bluestein chirp-z otherwise. The input slice is not modified; a
+// new slice holding X[k] = sum_n x[n] exp(-i 2 pi k n / N) is returned.
+// The transform runs through the shared plan cache (see Plan), so repeated
+// calls at one size pay the twiddle trigonometry only once; callers on a
+// hot path can hold the plan themselves and use Execute to skip the output
+// allocation too.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
 	out := make([]complex128, n)
-	copy(out, x)
-	if IsPowerOfTwo(n) {
-		fftRadix2(out, false)
-		return out
-	}
-	return bluestein(out, false)
+	PlanFFT(n).ExecuteInto(out, x)
+	return out
 }
 
 // IFFT computes the inverse discrete Fourier transform with 1/N scaling so
-// that IFFT(FFT(x)) == x up to rounding.
+// that IFFT(FFT(x)) == x up to rounding. Like FFT it is a thin wrapper
+// over the plan cache.
 func IFFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
 	out := make([]complex128, n)
-	copy(out, x)
-	if IsPowerOfTwo(n) {
-		fftRadix2(out, true)
-	} else {
-		out = bluestein(out, true)
-	}
+	PlanIFFT(n).ExecuteInto(out, x)
 	scale := complex(1/float64(n), 0)
 	for i := range out {
 		out[i] *= scale
@@ -71,8 +66,11 @@ func IFFT(x []complex128) []complex128 {
 	return out
 }
 
-// fftRadix2 performs an in-place iterative radix-2 FFT. inverse selects the
-// conjugate (un-normalised inverse) transform.
+// fftRadix2 performs an in-place iterative radix-2 FFT, evaluating each
+// twiddle with math.Sincos inside the butterfly loop. It is retained as
+// the direct oracle the plan engine is fuzzed against (FuzzPlanVsDirect):
+// a Plan must reproduce it bit for bit.
+// inverse selects the conjugate (un-normalised inverse) transform.
 func fftRadix2(a []complex128, inverse bool) {
 	n := len(a)
 	if n < 2 {
@@ -111,17 +109,42 @@ func fftRadix2(a []complex128, inverse bool) {
 
 // RealFFT computes the DFT of a real sequence and returns the full complex
 // spectrum (length len(x)). For real inputs the upper half mirrors the lower
-// half; callers interested in the one-sided spectrum can slice [:n/2+1].
+// half; callers interested in the one-sided spectrum can slice [:n/2+1] or
+// call RealFFTHalf. Even lengths take the half-size complex-transform
+// split (RealPlan) — roughly twice as fast as widening to []complex128 —
+// and odd lengths fall back to the complex plan.
 func RealFFT(x []float64) []complex128 {
-	c := make([]complex128, len(x))
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	if n >= 2 && n%2 == 0 {
+		PlanRealFFT(n).Transform(out, x)
+		return out
+	}
 	for i, v := range x {
-		c[i] = complex(v, 0)
+		out[i] = complex(v, 0)
 	}
-	if IsPowerOfTwo(len(c)) {
-		fftRadix2(c, false)
-		return c
+	PlanFFT(n).Execute(out)
+	return out
+}
+
+// RealFFTHalf computes the one-sided spectrum of a real sequence: bins
+// 0..n/2 inclusive (length n/2+1). For real input the remaining bins are
+// the conjugate mirror, so this is the whole information content at half
+// the memory traffic of RealFFT.
+func RealFFTHalf(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
 	}
-	return bluestein(c, false)
+	if n >= 2 && n%2 == 0 {
+		out := make([]complex128, n/2+1)
+		PlanRealFFT(n).HalfSpectrum(out, x)
+		return out
+	}
+	return RealFFT(x)[:n/2+1]
 }
 
 // FFTShift reorders a spectrum so that the zero-frequency bin sits at the
@@ -202,12 +225,13 @@ func Convolve(a, b []float64) []float64 {
 	for i, v := range b {
 		fb[i] = complex(v, 0)
 	}
-	fftRadix2(fa, false)
-	fftRadix2(fb, false)
+	fwd := PlanFFT(m)
+	fwd.Execute(fa)
+	fwd.Execute(fb)
 	for i := range fa {
 		fa[i] *= fb[i]
 	}
-	fftRadix2(fa, true)
+	PlanIFFT(m).Execute(fa)
 	out := make([]float64, n)
 	scale := 1 / float64(m)
 	for i := range out {

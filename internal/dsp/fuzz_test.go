@@ -120,6 +120,62 @@ func FuzzBluesteinVsRadix2(f *testing.F) {
 	})
 }
 
+// planSeed encodes a FuzzPlanVsDirect input: a little-endian uint16
+// transform length followed by float64 samples that are cycled to fill it.
+func planSeed(n int, vals ...float64) []byte {
+	b := make([]byte, 2+8*len(vals))
+	binary.LittleEndian.PutUint16(b, uint16(n))
+	copy(b[2:], seedBytes(vals...))
+	return b
+}
+
+// FuzzPlanVsDirect differentially tests the cached plan engine against the
+// retained direct oracle (sincos-per-butterfly radix-2, per-call-chirp
+// Bluestein) across mixed power-of-two and Bluestein lengths, in both
+// directions. The contract is exact: a plan reproduces the direct
+// transform bit for bit. Each case also executes the plan twice to
+// exercise cache and scratch reuse.
+func FuzzPlanVsDirect(f *testing.F) {
+	for _, n := range []int{1, 2, 3, 12, 64, 1000, 4096} {
+		f.Add(planSeed(n, 1, -0.5, 0.25, 3, -2, 0.125, 7, -0.75))
+	}
+	f.Add(planSeed(255, 1e6, -1e-6))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		n := int(binary.LittleEndian.Uint16(data))%4096 + 1
+		vals := floatsFromBytes(data[2:], 64)
+		if len(vals) < 2 {
+			t.Skip()
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(vals[(2*i)%len(vals)], vals[(2*i+1)%len(vals)])
+		}
+		for _, inverse := range []bool{false, true} {
+			want := directFFT(x, inverse)
+			p := cachedPlan(n, inverse)
+			got := make([]complex128, n)
+			p.ExecuteInto(got, x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d inverse=%v bin %d: plan %v != direct %v",
+						n, inverse, i, got[i], want[i])
+				}
+			}
+			// Second execution on the same plan: scratch reuse must not
+			// perturb the result.
+			p.ExecuteInto(got, x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d inverse=%v bin %d: repeat Execute diverged", n, inverse, i)
+				}
+			}
+		}
+	})
+}
+
 // FuzzFIRLinearity checks the defining property of an LTI filter on fuzzed
 // signals and mixing coefficients: Filter(a x + b y) == a Filter(x) +
 // b Filter(y) up to rounding.

@@ -47,6 +47,39 @@ func AnalyticSignal(x []float64, numTaps int) ([]complex128, error) {
 	return out, nil
 }
 
+// AnalyticSignalFFT returns the analytic signal of a real record by the
+// frequency-domain method: transform, zero the negative frequencies,
+// double the positive ones and invert. Unlike the FIR route it is exact
+// over the whole record (no edge regions), at the cost of treating the
+// record as periodic. Both transforms run through the cached plan engine,
+// so repeated calls at one record length reuse the twiddle tables.
+func AnalyticSignalFFT(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	spec := RealFFT(x)
+	// H[0] = 1, H[k] = 2 for 0 < k < n/2 (+ Nyquist bin kept at 1 for even
+	// n), H[k] = 0 for the negative frequencies.
+	half := n / 2
+	for k := 1; k < half; k++ {
+		spec[k] *= 2
+	}
+	if n%2 != 0 && half >= 1 {
+		spec[half] *= 2 // odd length: bin n/2 is still a positive frequency
+	}
+	for k := half + 1; k < n; k++ {
+		spec[k] = 0
+	}
+	out := spec
+	PlanIFFT(n).Execute(out)
+	scale := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
 // InstantaneousFrequency estimates f[n] (cycles/sample) from an analytic
 // signal by phase differencing.
 func InstantaneousFrequency(z []complex128) []float64 {

@@ -3,6 +3,9 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sort"
+
+	"repro/internal/par"
 )
 
 // Spectrum is a one- or two-sided power spectral density estimate.
@@ -20,17 +23,26 @@ type Spectrum struct {
 // Len returns the number of bins.
 func (s *Spectrum) Len() int { return len(s.Freqs) }
 
+// binRange returns the half-open index range [lo, hi) of bins whose centre
+// lies in [f1, f2], located by binary search over the monotonic Freqs axis.
+func (s *Spectrum) binRange(f1, f2 float64) (lo, hi int) {
+	lo = sort.SearchFloat64s(s.Freqs, f1)
+	hi = sort.Search(len(s.Freqs), func(i int) bool { return s.Freqs[i] > f2 })
+	return lo, hi
+}
+
 // PowerInBand integrates the PSD between f1 and f2 (Hz) and returns the band
-// power in V^2. Bins whose centre lies in [f1, f2] contribute fully.
+// power in V^2. Bins whose centre lies in [f1, f2] contribute fully. The
+// bin range comes from a binary search over the monotonic frequency axis,
+// so narrow-band queries on long spectra cost O(log n + band), not O(n).
 func (s *Spectrum) PowerInBand(f1, f2 float64) float64 {
 	if f1 > f2 {
 		f1, f2 = f2, f1
 	}
+	lo, hi := s.binRange(f1, f2)
 	p := 0.0
-	for i, f := range s.Freqs {
-		if f >= f1 && f <= f2 {
-			p += s.PSD[i] * s.BinWidth
-		}
+	for i := lo; i < hi; i++ {
+		p += s.PSD[i] * s.BinWidth
 	}
 	return p
 }
@@ -86,65 +98,178 @@ func DefaultWelch(segmentLen int) WelchConfig {
 	return WelchConfig{SegmentLen: segmentLen, Overlap: segmentLen / 2, Win: Hann}
 }
 
-// WelchComplex estimates the two-sided PSD of a complex baseband sequence
-// sampled at fs. centre shifts the frequency axis (pass the carrier to plot
-// an RF-referred spectrum). The result is fftshifted so frequencies ascend.
-func WelchComplex(x []complex128, fs, centre float64, cfg WelchConfig) (*Spectrum, error) {
+// welchParams validates a Welch configuration against the input length and
+// returns the window, its power, the hop and the segment count.
+func welchParams(inputLen int, cfg WelchConfig) (win []float64, winPow float64, step, segs int, err error) {
 	n := cfg.SegmentLen
 	if n <= 0 {
-		return nil, fmt.Errorf("dsp: Welch: SegmentLen %d <= 0", n)
+		return nil, 0, 0, 0, fmt.Errorf("dsp: Welch: SegmentLen %d <= 0", n)
 	}
-	if len(x) < n {
-		return nil, fmt.Errorf("dsp: Welch: input length %d < segment %d", len(x), n)
+	if inputLen < n {
+		return nil, 0, 0, 0, fmt.Errorf("dsp: Welch: input length %d < segment %d", inputLen, n)
 	}
 	if cfg.Overlap < 0 || cfg.Overlap >= n {
-		return nil, fmt.Errorf("dsp: Welch: overlap %d outside [0, %d)", cfg.Overlap, n)
+		return nil, 0, 0, 0, fmt.Errorf("dsp: Welch: overlap %d outside [0, %d)", cfg.Overlap, n)
 	}
-	win := Window(cfg.Win, n, cfg.Beta)
-	var winPow float64
+	win = Window(cfg.Win, n, cfg.Beta)
 	for _, w := range win {
 		winPow += w * w
 	}
-	step := n - cfg.Overlap
-	acc := make([]float64, n)
-	segs := 0
-	buf := make([]complex128, n)
-	for start := 0; start+n <= len(x); start += step {
-		for i := 0; i < n; i++ {
-			buf[i] = x[start+i] * complex(win[i], 0)
-		}
-		spec := FFT(buf)
-		for i, v := range spec {
-			re, im := real(v), imag(v)
-			acc[i] += re*re + im*im
-		}
-		segs++
-	}
+	step = n - cfg.Overlap
+	segs = (inputLen-n)/step + 1
 	if segs == 0 {
-		return nil, fmt.Errorf("dsp: Welch: no complete segments")
+		return nil, 0, 0, 0, fmt.Errorf("dsp: Welch: no complete segments")
+	}
+	return win, winPow, step, segs, nil
+}
+
+// welchAverage fans the segment periodograms out over the par pool and
+// folds them into the averaged two-sided PSD.
+//
+// Determinism contract: every segment writes its |X|^2 into its own row of
+// a per-segment partial matrix, and the rows are summed serially in
+// segment-index order afterwards. The float reduction tree is therefore a
+// fixed left fold independent of scheduling, so the averaged PSD is
+// bit-identical at any worker count — the same invariance the cost path
+// established in PR 1 — and also bit-identical to the historical serial
+// loop (which accumulated segments in the same order).
+//
+// periodogram must fill pow (length n) with the segment's |X[k]|^2; it is
+// called concurrently for distinct segments.
+func welchAverage(n, segs int, fs, winPow float64, periodogram func(seg int, pow []float64)) []float64 {
+	backing := make([]float64, segs*n)
+	par.For(segs, func(s int) {
+		periodogram(s, backing[s*n:(s+1)*n])
+	})
+	acc := make([]float64, n)
+	for s := 0; s < segs; s++ {
+		row := backing[s*n : (s+1)*n]
+		for i, v := range row {
+			acc[i] += v
+		}
 	}
 	// PSD normalisation: |X|^2 / (fs * sum(w^2)), averaged over segments.
 	norm := 1 / (fs * winPow * float64(segs))
-	psd := make([]float64, n)
 	for i := range acc {
-		psd[i] = acc[i] * norm
+		acc[i] *= norm
 	}
+	return acc
+}
+
+// complexScratch is a fixed-size free list of complex work buffers shared
+// by the concurrent segment workers: cap buffers are preallocated in one
+// backing array, so a Welch call performs a constant number of allocations
+// regardless of segment count.
+func complexScratch(n, count int) chan []complex128 {
+	free := make(chan []complex128, count)
+	backing := make([]complex128, n*count)
+	for i := 0; i < count; i++ {
+		free <- backing[i*n : (i+1)*n]
+	}
+	return free
+}
+
+// spectrumFromPSD shifts the natural-order two-sided PSD and builds the
+// ascending frequency axis around centre.
+func spectrumFromPSD(psd []float64, fs, centre float64) *Spectrum {
+	n := len(psd)
 	psd = FFTShiftFloat(psd)
 	freqs := make([]float64, n)
 	df := fs / float64(n)
 	for i := range freqs {
 		freqs[i] = centre + (float64(i)-float64(n)/2)*df
 	}
-	return &Spectrum{Freqs: freqs, PSD: psd, BinWidth: df}, nil
+	return &Spectrum{Freqs: freqs, PSD: psd, BinWidth: df}
+}
+
+// WelchComplex estimates the two-sided PSD of a complex baseband sequence
+// sampled at fs. centre shifts the frequency axis (pass the carrier to plot
+// an RF-referred spectrum). The result is fftshifted so frequencies ascend.
+//
+// Segments transform through a cached Plan and fan out over the par worker
+// pool; the estimate is bit-identical at any worker count (see
+// welchAverage) and the call allocates O(1) buffers beyond the returned
+// Spectrum.
+func WelchComplex(x []complex128, fs, centre float64, cfg WelchConfig) (*Spectrum, error) {
+	win, winPow, step, segs, err := welchParams(len(x), cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.SegmentLen
+	plan := PlanFFT(n)
+	nw := par.Workers()
+	if nw > segs {
+		nw = segs
+	}
+	free := complexScratch(n, nw)
+	psd := welchAverage(n, segs, fs, winPow, func(s int, pow []float64) {
+		buf := <-free
+		start := s * step
+		for i := 0; i < n; i++ {
+			buf[i] = x[start+i] * complex(win[i], 0)
+		}
+		plan.Execute(buf)
+		for i, v := range buf {
+			re, im := real(v), imag(v)
+			pow[i] = re*re + im*im
+		}
+		free <- buf
+	})
+	return spectrumFromPSD(psd, fs, centre), nil
 }
 
 // WelchReal estimates the two-sided PSD of a real sequence sampled at fs.
+// Even segment lengths route through the half-size real-FFT plan
+// (RealPlan) — the windowed segment never widens to []complex128 — and the
+// conjugate-symmetric upper half of each periodogram is mirrored from the
+// lower. Odd segment lengths fall back to the complex path.
 func WelchReal(x []float64, fs float64, cfg WelchConfig) (*Spectrum, error) {
-	c := make([]complex128, len(x))
-	for i, v := range x {
-		c[i] = complex(v, 0)
+	n := cfg.SegmentLen
+	if n < 2 || n%2 != 0 {
+		c := make([]complex128, len(x))
+		for i, v := range x {
+			c[i] = complex(v, 0)
+		}
+		return WelchComplex(c, fs, 0, cfg)
 	}
-	return WelchComplex(c, fs, 0, cfg)
+	win, winPow, step, segs, err := welchParams(len(x), cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan := PlanRealFFT(n)
+	h := n / 2
+	nw := par.Workers()
+	if nw > segs {
+		nw = segs
+	}
+	// Each worker slot needs a real windowed segment and a half-spectrum
+	// output; both come from fixed free lists so the allocation count stays
+	// constant.
+	freeRe := make(chan []float64, nw)
+	reBacking := make([]float64, n*nw)
+	for i := 0; i < nw; i++ {
+		freeRe <- reBacking[i*n : (i+1)*n]
+	}
+	freeHalf := complexScratch(h+1, nw)
+	psd := welchAverage(n, segs, fs, winPow, func(s int, pow []float64) {
+		buf := <-freeRe
+		half := <-freeHalf
+		start := s * step
+		for i := 0; i < n; i++ {
+			buf[i] = x[start+i] * win[i]
+		}
+		plan.HalfSpectrum(half, buf)
+		for k := 0; k <= h; k++ {
+			re, im := real(half[k]), imag(half[k])
+			pow[k] = re*re + im*im
+		}
+		for k := 1; k < h; k++ {
+			pow[n-k] = pow[k]
+		}
+		freeRe <- buf
+		freeHalf <- half
+	})
+	return spectrumFromPSD(psd, fs, 0), nil
 }
 
 // Periodogram is the single-segment special case of Welch.

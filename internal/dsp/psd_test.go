@@ -1,9 +1,13 @@
 package dsp
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/par"
+	"repro/internal/testkit"
 )
 
 func TestWelchToneAndNoiseFloor(t *testing.T) {
@@ -118,6 +122,180 @@ func TestSpectrumHelpers(t *testing.T) {
 	}
 	if math.Abs(db[1]-10*math.Log10(2)) > 1e-12 {
 		t.Error("PSDdB value")
+	}
+}
+
+// TestPowerInBandBoundaries pins the binary-search bin-range behaviour at
+// the awkward edges: bands outside the axis, single-bin bands, inverted
+// bounds and exact bin-centre hits.
+func TestPowerInBandBoundaries(t *testing.T) {
+	s := &Spectrum{
+		Freqs:    []float64{-2, -1, 0, 1, 2},
+		PSD:      []float64{1, 2, 4, 8, 16},
+		BinWidth: 1,
+	}
+	cases := []struct {
+		name   string
+		f1, f2 float64
+		want   float64
+	}{
+		{"whole axis", -2, 2, 31},
+		{"beyond both ends", -100, 100, 31},
+		{"entirely below", -10, -3, 0},
+		{"entirely above", 3, 10, 0},
+		{"between bin centres", 0.25, 0.75, 0},
+		{"single bin exact", 1, 1, 8},
+		{"single bin straddled", 0.5, 1.5, 8},
+		{"inverted bounds", 1.5, 0.5, 8},
+		{"inverted whole axis", 2, -2, 31},
+		{"left edge only", -2, -2, 1},
+		{"right edge only", 2, 2, 16},
+	}
+	for _, c := range cases {
+		if got := s.PowerInBand(c.f1, c.f2); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("%s: PowerInBand(%g, %g) = %g, want %g", c.name, c.f1, c.f2, got, c.want)
+		}
+	}
+	// TotalPower must agree with the full-axis band query.
+	if got, want := s.TotalPower(), s.PowerInBand(-2, 2); got != want {
+		t.Errorf("TotalPower %g != full-axis PowerInBand %g", got, want)
+	}
+	empty := &Spectrum{}
+	if empty.PowerInBand(-1, 1) != 0 || empty.TotalPower() != 0 {
+		t.Error("empty spectrum should integrate to 0")
+	}
+}
+
+// TestWelchRealMatchesComplex differentially checks the half-size
+// real-FFT Welch path against the widen-to-complex reference on the same
+// record, for both power-of-two and odd (Bluestein-fallback) segments.
+func TestWelchRealMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	n := 6000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(0.21*float64(i)) + 0.3*rng.NormFloat64()
+	}
+	c := make([]complex128, n)
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	for _, segLen := range []int{512, 500, 511} { // pow2, even-Bluestein, odd
+		cfg := DefaultWelch(segLen)
+		sre, err := WelchReal(x, 1e6, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := WelchComplex(c, 1e6, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sre.Len() != ref.Len() || sre.BinWidth != ref.BinWidth {
+			t.Fatalf("seg %d: shape mismatch", segLen)
+		}
+		for i := range ref.PSD {
+			d := math.Abs(sre.PSD[i] - ref.PSD[i])
+			if d > 1e-12*(ref.PSD[i]+1e-30) && d > 1e-25 {
+				t.Fatalf("seg %d bin %d: real-path PSD %g vs complex %g", segLen, i, sre.PSD[i], ref.PSD[i])
+			}
+			if sre.Freqs[i] != ref.Freqs[i] {
+				t.Fatalf("seg %d bin %d: freq axis diverged", segLen, i)
+			}
+		}
+	}
+}
+
+// TestWelchWorkerCountByteIdentical asserts the Welch determinism
+// contract: the canonical encoding of the Spectrum is byte-identical for
+// worker counts 1, 2 and 8 on the same input, for both the complex and
+// real estimators.
+func TestWelchWorkerCountByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 1 << 13
+	xc := make([]complex128, n)
+	xr := make([]float64, n)
+	for i := range xc {
+		xc[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		xr[i] = rng.NormFloat64()
+	}
+	cfg := DefaultWelch(512)
+	encode := func(workers int) (cpx, re []byte) {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		sc, err := WelchComplex(xc, 1e6, 1e9, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := WelchReal(xr, 1e6, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := testkit.MarshalCanonical(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := testkit.MarshalCanonical(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bc, br
+	}
+	c1, r1 := encode(1)
+	for _, w := range []int{2, 8} {
+		cw, rw := encode(w)
+		if !bytes.Equal(c1, cw) {
+			t.Errorf("WelchComplex: %d workers diverged from serial", w)
+		}
+		if !bytes.Equal(r1, rw) {
+			t.Errorf("WelchReal: %d workers diverged from serial", w)
+		}
+	}
+}
+
+// TestWelchMatchesSerialReference pins the parallel implementation to the
+// seed-era serial accumulation loop bit for bit.
+func TestWelchMatchesSerialReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 4096
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	cfg := DefaultWelch(256)
+	got, err := WelchComplex(x, 2e6, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the historical serial loop, written out longhand.
+	win := Window(cfg.Win, cfg.SegmentLen, cfg.Beta)
+	var winPow float64
+	for _, w := range win {
+		winPow += w * w
+	}
+	step := cfg.SegmentLen - cfg.Overlap
+	acc := make([]float64, cfg.SegmentLen)
+	buf := make([]complex128, cfg.SegmentLen)
+	segs := 0
+	for start := 0; start+cfg.SegmentLen <= n; start += step {
+		for i := 0; i < cfg.SegmentLen; i++ {
+			buf[i] = x[start+i] * complex(win[i], 0)
+		}
+		spec := directFFT(buf, false)
+		for i, v := range spec {
+			re, im := real(v), imag(v)
+			acc[i] += re*re + im*im
+		}
+		segs++
+	}
+	norm := 1 / (2e6 * winPow * float64(segs))
+	for i := range acc {
+		acc[i] *= norm
+	}
+	want := FFTShiftFloat(acc)
+	for i := range want {
+		if got.PSD[i] != want[i] {
+			t.Fatalf("bin %d: parallel Welch %g != serial reference %g", i, got.PSD[i], want[i])
+		}
 	}
 }
 

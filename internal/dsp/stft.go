@@ -1,6 +1,10 @@
 package dsp
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
 
 // Spectrogram is a short-time Fourier transform magnitude map, used to
 // inspect transient behaviour (burst edges, settling, hopping) of captured
@@ -16,6 +20,9 @@ type Spectrogram struct {
 
 // STFT computes a spectrogram of a complex sequence sampled at fs with the
 // given segment length and hop. A Hann window is applied per segment.
+// Columns are independent, so they transform through one cached Plan and
+// fan out over the par worker pool; each column's numbers depend only on
+// its own samples, so the spectrogram is identical at any worker count.
 func STFT(x []complex128, fs float64, segLen, hop int) (*Spectrogram, error) {
 	if segLen < 4 {
 		return nil, fmt.Errorf("dsp: STFT segment %d too short", segLen)
@@ -37,21 +44,34 @@ func STFT(x []complex128, fs float64, segLen, hop int) (*Spectrogram, error) {
 	for i := range sg.Freqs {
 		sg.Freqs[i] = (float64(i) - float64(segLen)/2) * df
 	}
-	buf := make([]complex128, segLen)
-	for c := 0; c < nCols; c++ {
+	plan := PlanFFT(segLen)
+	nw := par.Workers()
+	if nw > nCols {
+		nw = nCols
+	}
+	free := complexScratch(segLen, nw)
+	rows := make([]float64, nCols*segLen)
+	// shift maps the natural bin order to the centred axis: row[i] is the
+	// power of spectrum bin (shift+i) mod segLen, the in-place equivalent
+	// of FFTShift.
+	shift := (segLen + 1) / 2
+	par.For(nCols, func(c int) {
+		buf := <-free
 		start := c * hop
 		sg.Times[c] = (float64(start) + float64(segLen)/2) / fs
 		for i := 0; i < segLen; i++ {
 			buf[i] = x[start+i] * complex(win[i], 0)
 		}
-		spec := FFTShift(FFT(buf))
-		row := make([]float64, segLen)
-		for i, v := range spec {
+		plan.Execute(buf)
+		row := rows[c*segLen : (c+1)*segLen]
+		for i := range row {
+			v := buf[(shift+i)%segLen]
 			re, im := real(v), imag(v)
 			row[i] = PowerDB(re*re + im*im)
 		}
 		sg.PowerDB[c] = row
-	}
+		free <- buf
+	})
 	return sg, nil
 }
 
