@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-hot bench-fft cover fuzz-smoke golden-update
+.PHONY: all build test vet race check bench bench-hot bench-fft obs-bench cover fuzz-smoke golden-update
 
 # Committed coverage floor (percent of statements): `make cover` fails when
 # total coverage drops below this.
@@ -35,9 +35,17 @@ bench:
 
 # bench-hot is the fast subset covering the LMS hot path and the paper's
 # headline artifacts, with the baseline's -benchtime for comparability.
+# Alongside ns/op it records the per-run counter deltas of the end-to-end
+# mask BIST (cost evals, plan-cache traffic, dispatched tasks) into
+# BENCH_hot_metrics.json, so the trajectory carries work counts, not just
+# wall clock. The counter subset is deterministic in a fresh process;
+# histogram sums are wall-clock and vary like ns/op does.
 bench-hot:
 	$(GO) test -run='^$$' -benchtime=3x -benchmem \
 		-bench='BenchmarkFig5$$|BenchmarkFig6$$|BenchmarkTable1$$|BenchmarkCostEvaluation$$|BenchmarkReconstructorAt61Taps$$|BenchmarkKaiserWindow$$|BenchmarkYield$$' .
+	$(GO) run ./cmd/bistlab mask -scale 0.3 -metrics \
+		| awk '/^---- metrics ----$$/{found=1;next} found' > BENCH_hot_metrics.json
+	@echo "counter deltas written to BENCH_hot_metrics.json"
 
 # bench-fft covers the plan-based transform engine and the Welch estimator
 # built on it. Compare against BENCH_plans.json (before/after for the plan
@@ -45,6 +53,15 @@ bench-hot:
 bench-fft:
 	$(GO) test -run='^$$' -benchmem \
 		-bench='BenchmarkFFTPlan1024$$|BenchmarkFFTPlan4096$$|BenchmarkFFTPlanOdd1000$$|BenchmarkWelch64k$$|BenchmarkWelchPSD$$|BenchmarkFFT4096$$' .
+
+# obs-bench verifies the observability layer: concurrent counter/gauge/
+# histogram correctness under the race detector, then the overhead
+# benchmarks. The BenchmarkObsDisabled* rows are the contract with the LMS
+# hot loop — they must report 0 allocs/op and ~1 ns/op or less for the
+# counter (one atomic load).
+obs-bench:
+	$(GO) test -race ./internal/obs
+	$(GO) test -run='^$$' -bench='BenchmarkObs' -benchmem ./internal/obs
 
 # cover measures total statement coverage and fails below COVER_FLOOR.
 cover:

@@ -32,8 +32,14 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/testkit"
 )
+
+// Per-experiment instruments: one counter per experiment name plus a shared
+// latency histogram, so `bistlab all -metrics` profiles the whole paper
+// regeneration in one pass.
+var hExperiment = obs.H("bistlab.experiment.seconds", obs.LatencyBuckets)
 
 func main() {
 	if err := run(os.Stdout, os.Args[1:]); err != nil {
@@ -47,6 +53,9 @@ func run(w io.Writer, args []string) error {
 	scale := fs.Float64("scale", 1.0, "capture/PSD size scale in (0, 1]: smaller is faster, noisier")
 	nPts := fs.Int("points", 0, "sweep point count (experiment-specific default when 0)")
 	jsonOut := fs.Bool("json", false, "emit the structured result as JSON instead of text")
+	metrics := fs.Bool("metrics", false, "collect runtime metrics and append a per-run metrics block to the report")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this address for the run's duration (implies -metrics)")
+	pprofFlag := fs.Bool("pprof", false, "also serve /debug/pprof on -metrics-addr (net/http/pprof)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: bistlab <fig3a|fig3b|fig5|fig6|table1|eq4|dsweep|mask|flex|ablate|noise|yield|avg|loop|resp|all> [flags]")
 		fs.PrintDefaults()
@@ -59,17 +68,65 @@ func run(w io.Writer, args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	if name == "all" {
-		for _, n := range []string{"fig3a", "fig3b", "fig5", "fig6", "table1", "eq4", "dsweep", "mask", "flex", "ablate", "noise", "yield", "avg", "loop", "resp"} {
-			fmt.Fprintf(w, "==== %s ====\n", n)
-			if err := runOne(w, n, *scale, *nPts, *jsonOut); err != nil {
-				return fmt.Errorf("%s: %w", n, err)
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
+	if *pprofFlag && *metricsAddr == "" {
+		return fmt.Errorf("-pprof needs -metrics-addr to serve on")
 	}
-	return runOne(w, name, *scale, *nPts, *jsonOut)
+	collect := *metrics || *metricsAddr != ""
+	if collect {
+		obs.Enable()
+		obs.Reset() // per-run deltas, not process-lifetime totals
+		defer obs.Disable()
+	}
+	if *metricsAddr != "" {
+		srv, err := startMetricsServer(*metricsAddr, *pprofFlag)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		// Stderr, so stdout stays the byte-deterministic report stream.
+		fmt.Fprintf(os.Stderr, "bistlab: serving metrics on http://%s/metrics\n", srv.Addr())
+		if *pprofFlag {
+			fmt.Fprintf(os.Stderr, "bistlab: pprof on http://%s/debug/pprof/\n", srv.Addr())
+		}
+	}
+	runErr := func() error {
+		if name == "all" {
+			for _, n := range []string{"fig3a", "fig3b", "fig5", "fig6", "table1", "eq4", "dsweep", "mask", "flex", "ablate", "noise", "yield", "avg", "loop", "resp"} {
+				fmt.Fprintf(w, "==== %s ====\n", n)
+				if err := runOne(w, n, *scale, *nPts, *jsonOut); err != nil {
+					return fmt.Errorf("%s: %w", n, err)
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		}
+		return runOne(w, name, *scale, *nPts, *jsonOut)
+	}()
+	if runErr != nil {
+		return runErr
+	}
+	if collect {
+		return emitMetricsBlock(w, *jsonOut)
+	}
+	return nil
+}
+
+// emitMetricsBlock appends the per-run metrics snapshot to the report: a
+// delimited section in text mode, a second canonical-JSON document (JSON
+// lines style) after the result in -json mode. Counters are deltas since
+// the start of the invocation (the registry is reset before the run), so
+// piping the output into a BENCH_*.json trajectory carries cost-eval and
+// cache-traffic counts alongside ns/op.
+func emitMetricsBlock(w io.Writer, jsonOut bool) error {
+	b, err := obs.MarshalSnapshot()
+	if err != nil {
+		return err
+	}
+	if !jsonOut {
+		fmt.Fprintln(w, "---- metrics ----")
+	}
+	_, err = w.Write(b)
+	return err
 }
 
 // renderer unifies text and JSON emission: every experiment result is an
@@ -95,6 +152,9 @@ func emit(w io.Writer, v renderer, jsonOut bool) error {
 }
 
 func runOne(w io.Writer, name string, scale float64, nPts int, jsonOut bool) error {
+	obs.C("bistlab.runs." + name).Inc()
+	sp := hExperiment.Start()
+	defer sp.End()
 	setup := experiments.DefaultPaperSetup()
 	switch name {
 	case "fig3a":

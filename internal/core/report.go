@@ -7,10 +7,24 @@ import (
 
 	"repro/internal/dsp"
 	"repro/internal/mask"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pnbs"
 	"repro/internal/sig"
 	"repro/internal/skew"
+)
+
+// Stage latency instruments for the BIST pipeline. One histogram per
+// pipeline stage (seconds, shared exponential buckets) plus a run counter;
+// together with skew's eval counter they make the paper's compute-budget
+// discussion observable on a live run instead of analytic-only.
+var (
+	mRuns         = obs.C("core.bist.runs")
+	hStageAcquire = obs.H("core.stage.acquire.seconds", obs.LatencyBuckets)
+	hStageEstim   = obs.H("core.stage.estimate.seconds", obs.LatencyBuckets)
+	hStageRecon   = obs.H("core.stage.reconstruct.seconds", obs.LatencyBuckets)
+	hStageMeasure = obs.H("core.stage.measure.seconds", obs.LatencyBuckets)
+	hRunTotal     = obs.H("core.stage.total.seconds", obs.LatencyBuckets)
 )
 
 // ComputeBudget estimates the arithmetic work of one BIST execution — the
@@ -117,6 +131,9 @@ func (r *Report) Summary() string {
 // Run executes the full BIST flow and returns the report.
 func (b *BIST) Run() (*Report, error) {
 	c := b.cfg
+	mRuns.Inc()
+	total := hRunTotal.Start()
+	defer total.End()
 	rep := &Report{
 		Scenario: b.tx.Describe(),
 		DNominal: c.NominalD,
@@ -139,14 +156,18 @@ func (b *BIST) Run() (*Report, error) {
 	}
 
 	// 1-2. Acquire the PA output nonuniformly at both rates.
+	spAcq := hStageAcquire.Start()
 	setB, setB1, actualD, err := b.acquire()
+	spAcq.End()
 	if err != nil {
 		return nil, err
 	}
 	rep.DActual = actualD
 
 	// 3. Identify the channel delay (Algorithm 1).
+	spEst := hStageEstim.Start()
 	res, ce, err := b.estimate(setB, setB1)
+	spEst.End()
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +175,10 @@ func (b *BIST) Run() (*Report, error) {
 	rep.LMS = res
 
 	// 4. Reconstruct the bandpass waveform with the estimated delay.
+	spRec := hStageRecon.Start()
 	rec, err := b.Reconstructor(setB, res.DHat)
 	if err != nil {
+		spRec.End()
 		return nil, err
 	}
 	// Ground-truth fidelity at the evaluation instants.
@@ -163,6 +186,10 @@ func (b *BIST) Run() (*Report, error) {
 	got := rec.AtTimes(ce.Times())
 	want := sig.SampleAt(truth, ce.Times())
 	rep.ReconRelErr = dsp.RelRMSError(got, want)
+	spRec.End()
+
+	spMeas := hStageMeasure.Start()
+	defer spMeas.End()
 
 	// 5. Spectral measurements.
 	if c.Mask != nil {

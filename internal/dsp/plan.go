@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Plan is a precomputed transform descriptor for one (size, direction)
@@ -58,13 +60,39 @@ type planKey struct {
 	inverse bool
 }
 
-// planCache holds one *Plan per (size, direction) ever requested. Entries
+// planCache holds one entry per (size, direction) ever requested. Entries
 // are never evicted: a plan is a few multiples of its transform length
 // (~48 bytes/point for radix-2), and a process works a small set of sizes
 // (segment lengths, capture lengths), so the cache reaches a fixed point
 // after warm-up. Concurrent first requests may build duplicate plans; the
 // cache keeps exactly one and the losers are garbage.
-var planCache sync.Map // planKey -> *Plan
+var planCache sync.Map // planKey -> *planEntry
+
+// planEntry pairs a cached plan with its per-size hit counter, so counting
+// a hit costs one atomic add and no second map lookup.
+type planEntry struct {
+	p    *Plan
+	hits *obs.Counter
+}
+
+// Cache instruments. The aggregate counters answer "is the cache hot";
+// the per-size counters (registered lazily on the build path, where the
+// fmt.Sprintf allocation is amortised into the one-time trigonometry)
+// answer "which transform sizes does this workload actually run".
+var (
+	mPlanHits   = obs.C("dsp.plan.hits")
+	mPlanMisses = obs.C("dsp.plan.misses")
+	mPlanBuilds = obs.C("dsp.plan.builds")
+)
+
+// planSizeName labels a per-size cache counter: dsp.plan.<what>.<n>.<dir>.
+func planSizeName(what string, n int, inverse bool) string {
+	dir := "fwd"
+	if inverse {
+		dir = "inv"
+	}
+	return fmt.Sprintf("dsp.plan.%s.%d.%s", what, n, dir)
+}
 
 // PlanFFT returns the shared forward-DFT plan for length n, building and
 // caching it on first use. It panics for n < 0; n <= 1 yields a trivial
@@ -78,11 +106,20 @@ func PlanIFFT(n int) *Plan { return cachedPlan(n, true) }
 
 func cachedPlan(n int, inverse bool) *Plan {
 	key := planKey{n, inverse}
-	if p, ok := planCache.Load(key); ok {
-		return p.(*Plan)
+	if e, ok := planCache.Load(key); ok {
+		ent := e.(*planEntry)
+		mPlanHits.Inc()
+		ent.hits.Inc()
+		return ent.p
 	}
-	p, _ := planCache.LoadOrStore(key, NewPlan(n, inverse))
-	return p.(*Plan)
+	mPlanMisses.Inc()
+	obs.C(planSizeName("misses", n, inverse)).Inc()
+	p := NewPlan(n, inverse)
+	mPlanBuilds.Inc()
+	obs.C(planSizeName("builds", n, inverse)).Inc()
+	ent := &planEntry{p: p, hits: obs.C(planSizeName("hits", n, inverse))}
+	e, _ := planCache.LoadOrStore(key, ent)
+	return e.(*planEntry).p
 }
 
 // NewPlan builds an uncached plan for length n. inverse selects the

@@ -1,0 +1,74 @@
+package obs
+
+import "testing"
+
+// The disabled benchmarks are the package's contract with the LMS hot
+// loop: a disabled instrument must cost one atomic load and zero
+// allocations, so leaving the instrumentation compiled into the hot path
+// is free. CI runs BenchmarkObsDisabled* as a smoke check.
+
+func BenchmarkObsDisabledCounter(b *testing.B) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	c := &Counter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsDisabledHistogram(b *testing.B) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	h := newHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-4)
+	}
+}
+
+func BenchmarkObsDisabledSpan(b *testing.B) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	h := newHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Start().End()
+	}
+}
+
+func BenchmarkObsEnabledCounter(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	c := &Counter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsEnabledHistogram(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	h := newHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-4)
+	}
+}
+
+func BenchmarkObsEnabledSpan(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	h := newHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Start().End()
+	}
+}

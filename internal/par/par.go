@@ -18,6 +18,19 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool instruments: dispatch volume plus live/peak worker occupancy. The
+// gauge moves once per spawned worker goroutine (not per item), so the
+// per-item fan-out cost is untouched; inline runs are counted separately
+// so "how often did the pool degenerate to serial" is visible.
+var (
+	mForCalls  = obs.C("par.for.calls")
+	mForTasks  = obs.C("par.for.tasks")
+	mForInline = obs.C("par.for.inline")
+	mActive    = obs.G("par.workers.active")
 )
 
 // workerOverride holds the SetWorkers value; 0 means "use the default".
@@ -76,7 +89,10 @@ func For(n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	mForCalls.Inc()
+	mForTasks.Add(int64(n))
 	if w <= 1 {
+		mForInline.Inc()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -92,6 +108,8 @@ func For(n int, fn func(i int)) {
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
+			mActive.Add(1)
+			defer mActive.Add(-1)
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {

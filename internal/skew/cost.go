@@ -11,8 +11,21 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pnbs"
+)
+
+// Hot-loop instruments, hoisted to package level so an increment is one
+// atomic add and the registry map is never touched per evaluation. The
+// evals counter is the paper's "computational effort" axis measured live:
+// after one BIST run it equals LMSResult.CostEvals exactly.
+var (
+	mCostEvals  = obs.C("skew.cost.evals")
+	mCostErrors = obs.C("skew.cost.errors")
+	mPoolGets   = obs.C("skew.cost.pool.gets")
+	mPoolNews   = obs.C("skew.cost.pool.news")
+	mRetunes    = obs.C("skew.cost.retunes")
 )
 
 // SampleSet is one nonuniform capture expressed for reconstruction:
@@ -95,6 +108,8 @@ type costWorker struct {
 func (c *CostEvaluator) worker(dHat float64) (*costWorker, error) {
 	if v := c.workers.Get(); v != nil {
 		w := v.(*costWorker)
+		mPoolGets.Inc()
+		mRetunes.Add(2)
 		if err := w.rB.Retune(dHat); err != nil {
 			c.workers.Put(w)
 			return nil, err
@@ -105,6 +120,7 @@ func (c *CostEvaluator) worker(dHat float64) (*costWorker, error) {
 		}
 		return w, nil
 	}
+	mPoolNews.Inc()
 	rB, err := pnbs.NewReconstructor(c.setB.Band, dHat, c.setB.T0, c.setB.Ch0, c.setB.Ch1, c.opt)
 	if err != nil {
 		return nil, err
@@ -144,8 +160,10 @@ func (c *CostEvaluator) M() float64 { return MUpper(c.setB.Band, c.setB1.Band) }
 // the serial evaluation at any worker count. Cost is safe for concurrent
 // use.
 func (c *CostEvaluator) Cost(dHat float64) (float64, error) {
+	mCostEvals.Inc()
 	w, err := c.worker(dHat)
 	if err != nil {
+		mCostErrors.Inc()
 		return 0, err
 	}
 	defer c.workers.Put(w)

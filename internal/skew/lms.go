@@ -167,8 +167,21 @@ func Estimate(ce *CostEvaluator, d0 float64, cfg LMSConfig) (LMSResult, error) {
 // CostCurve samples the cost function over nPts delays spanning [dLo, dHi]
 // (Fig. 5 data). The sweep points are independent and fan out over the par
 // pool. Errors at individual points (e.g. kernel instability) are recorded
-// as NaN.
+// as NaN. nPts <= 0 returns empty slices; nPts == 1 samples the interval
+// midpoint (the float64(nPts-1) grid denominator would otherwise divide by
+// zero and return a NaN delay).
 func CostCurve(ce *CostEvaluator, dLo, dHi float64, nPts int) (ds, costs []float64) {
+	if nPts < 2 {
+		if nPts < 1 {
+			return []float64{}, []float64{}
+		}
+		mid := dLo + (dHi-dLo)/2
+		v, err := ce.Cost(mid)
+		if err != nil {
+			v = math.NaN()
+		}
+		return []float64{mid}, []float64{v}
+	}
 	ds = make([]float64, nPts)
 	costs = make([]float64, nPts)
 	par.For(nPts, func(i int) {

@@ -13,9 +13,11 @@ import (
 
 // GoldenResult reports a golden-section search outcome.
 type GoldenResult struct {
+	// DHat is the best delay the search evaluated.
 	DHat      float64
 	CostEvals int
-	// Cost is the objective value at DHat.
+	// Cost is the objective value at DHat (the same evaluation, not a
+	// re-computation).
 	Cost float64
 }
 
@@ -23,6 +25,13 @@ type GoldenResult struct {
 // tolerance tol using golden-section search. Unlike Algorithm 1 it needs
 // no starting estimate or step-size parameter, but it relies on strict
 // unimodality over the bracket.
+//
+// DHat is the best probe point actually evaluated — not the bracket
+// midpoint — so the returned (DHat, Cost) pair is self-consistent:
+// Cost == cost(DHat) exactly. (A previous version returned the midpoint
+// alongside the interior probe's value, a pair no single point satisfied.)
+// The best probe lies inside the final bracket, hence within tol of the
+// midpoint.
 func GoldenSection(cost CostFunc, lo, hi, tol float64) (GoldenResult, error) {
 	if hi <= lo {
 		return GoldenResult{}, fmt.Errorf("skew: golden section bracket [%g, %g] invalid", lo, hi)
@@ -62,18 +71,59 @@ func GoldenSection(cost CostFunc, lo, hi, tol float64) (GoldenResult, error) {
 			}
 		}
 	}
-	d := (a + b) / 2
-	fd := math.Min(f1, f2)
+	d, fd := x1, f1
+	if f2 < f1 {
+		d, fd = x2, f2
+	}
 	return GoldenResult{DHat: d, CostEvals: evals, Cost: fd}, nil
 }
 
 // ParabolicRefine performs one parabolic (three-point quadratic) refinement
 // of a delay estimate: it evaluates the cost at d-h, d, d+h and returns the
 // vertex of the fitted parabola. Used to squeeze the final fraction of a
-// picosecond out of either search.
+// picosecond out of either search. The result is unbounded; when the
+// estimate sits near the edge of the feasible delay interval use
+// ParabolicRefineBounded, which keeps both the probes and the vertex
+// inside [dMin, dMax] — an unconstrained refine at a bracket edge can step
+// outside ]0, m[ and hand the PNBS kernel a singular delay.
 func ParabolicRefine(cost CostFunc, d, h float64) (float64, error) {
+	return ParabolicRefineBounded(cost, d, h, math.Inf(-1), math.Inf(1))
+}
+
+// ParabolicRefineBounded is ParabolicRefine constrained to the feasible
+// interval [dMin, dMax]: the centre point is clamped inward so all three
+// probes d-h, d, d+h stay feasible (shrinking h when the interval is
+// narrower than 2h), and the fitted vertex is clamped before it is
+// returned.
+func ParabolicRefineBounded(cost CostFunc, d, h, dMin, dMax float64) (float64, error) {
 	if h <= 0 {
 		return 0, fmt.Errorf("skew: parabolic refine needs h > 0")
+	}
+	if dMax < dMin {
+		return 0, fmt.Errorf("skew: parabolic refine bounds [%g, %g] invalid", dMin, dMax)
+	}
+	clamp := func(v float64) float64 {
+		if v < dMin {
+			return dMin
+		}
+		if v > dMax {
+			return dMax
+		}
+		return v
+	}
+	if dMax-dMin < 2*h {
+		// Interval too narrow for the requested probe spacing: shrink the
+		// stencil to fit instead of probing infeasible delays.
+		h = (dMax - dMin) / 2
+		if h <= 0 {
+			return clamp(d), nil
+		}
+	}
+	d = clamp(d)
+	if d-h < dMin {
+		d = dMin + h
+	} else if d+h > dMax {
+		d = dMax - h
 	}
 	fm, err := cost(d - h)
 	if err != nil {
@@ -89,12 +139,12 @@ func ParabolicRefine(cost CostFunc, d, h float64) (float64, error) {
 	}
 	den := fm - 2*f0 + fp
 	if den <= 0 {
-		// Not convex at this scale; keep the input.
+		// Not convex at this scale; keep the (clamped) input.
 		return d, nil
 	}
 	shift := 0.5 * h * (fm - fp) / den
 	if math.Abs(shift) > h {
 		shift = math.Copysign(h, shift)
 	}
-	return d + shift, nil
+	return clamp(d + shift), nil
 }

@@ -1,6 +1,7 @@
 package skew
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -81,6 +82,119 @@ func TestParabolicRefineImprovesEstimate(t *testing.T) {
 	got, _ = ParabolicRefine(steep, 1.05, 0.1)
 	if math.Abs(got-1.05) > 0.1+1e-12 {
 		t.Errorf("shift not clamped: %g", got)
+	}
+}
+
+// Regression for the (DHat, Cost) mismatch: DHat used to be the bracket
+// midpoint while Cost was the best interior probe's value — a pair no
+// single point satisfied. DHat must now be an actually evaluated point
+// whose recorded cost matches a re-evaluation exactly.
+func TestGoldenSectionResultSelfConsistent(t *testing.T) {
+	evaluated := make(map[float64]float64)
+	cost := func(d float64) (float64, error) {
+		v := (d-3.7)*(d-3.7) + 0.25
+		evaluated[d] = v
+		return v, nil
+	}
+	res, err := GoldenSection(cost, 0, 10, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := evaluated[res.DHat]
+	if !ok {
+		t.Fatalf("DHat %g was never evaluated", res.DHat)
+	}
+	if v != res.Cost {
+		t.Errorf("Cost %g != cost(DHat) %g", res.Cost, v)
+	}
+	// The best probe sits inside the final bracket, so it stays within the
+	// requested tolerance of the true minimum.
+	if math.Abs(res.DHat-3.7) > 1e-6 {
+		t.Errorf("DHat %g outside tolerance of the minimum", res.DHat)
+	}
+}
+
+// Regression for the nPts == 1 divide-by-zero: the grid denominator
+// float64(nPts-1) used to produce a NaN delay (and thus a NaN cost) for a
+// single-point sweep.
+func TestCostCurveSinglePoint(t *testing.T) {
+	ce := paperEvaluator(t, 180e-12)
+	m := ce.M()
+	ds, costs := CostCurve(ce, m/1000, m*0.999, 1)
+	if len(ds) != 1 || len(costs) != 1 {
+		t.Fatalf("lengths %d, %d", len(ds), len(costs))
+	}
+	mid := m/1000 + (m*0.999-m/1000)/2
+	if math.IsNaN(ds[0]) || ds[0] != mid {
+		t.Errorf("single point delay %g, want midpoint %g", ds[0], mid)
+	}
+	if math.IsNaN(costs[0]) || costs[0] < 0 {
+		t.Errorf("single point cost %g", costs[0])
+	}
+	// Degenerate request: no points, no panic, no NaNs.
+	ds, costs = CostCurve(ce, m/1000, m*0.999, 0)
+	if len(ds) != 0 || len(costs) != 0 {
+		t.Errorf("nPts=0 returned %d/%d points", len(ds), len(costs))
+	}
+}
+
+// Regression for the unclamped parabolic vertex: refining at the edge of
+// the feasible interval must neither probe nor return an infeasible delay
+// (outside ]0, m[ the PNBS kernel is singular; here the cost errors to
+// emulate that).
+func TestParabolicRefineBounded(t *testing.T) {
+	lo, hi := 1.0, 2.0
+	mkCost := func(vertex float64) CostFunc {
+		return func(d float64) (float64, error) {
+			if d < lo || d > hi {
+				return 0, fmt.Errorf("infeasible delay %g", d)
+			}
+			return (d - vertex) * (d - vertex), nil
+		}
+	}
+	// Centre at the lower edge: the d-h probe would be infeasible without
+	// the inward clamp.
+	got, err := ParabolicRefineBounded(mkCost(1.5), lo, 0.1, lo, hi)
+	if err != nil {
+		t.Fatalf("edge refine: %v", err)
+	}
+	if got < lo || got > hi {
+		t.Errorf("refined delay %g outside [%g, %g]", got, lo, hi)
+	}
+	// Steeply asymmetric cost pushing the vertex below lo: the result must
+	// be clamped to the interval, not extrapolated past it.
+	desc := func(d float64) (float64, error) {
+		if d < lo || d > hi {
+			return 0, fmt.Errorf("infeasible delay %g", d)
+		}
+		return d * d, nil // minimum far below lo
+	}
+	got, err = ParabolicRefineBounded(desc, lo+0.1, 0.1, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < lo || got > hi {
+		t.Errorf("vertex not clamped: %g", got)
+	}
+	// Interval narrower than 2h: the stencil must shrink to fit.
+	got, err = ParabolicRefineBounded(mkCost(1.05), 1.0, 0.5, 1.0, 1.1)
+	if err != nil {
+		t.Fatalf("narrow interval: %v", err)
+	}
+	if got < 1.0 || got > 1.1 {
+		t.Errorf("narrow-interval result %g outside bounds", got)
+	}
+	// Invalid bounds rejected.
+	if _, err := ParabolicRefineBounded(mkCost(1.5), 1.5, 0.1, 2, 1); err == nil {
+		t.Error("inverted bounds must fail")
+	}
+	// Unbounded wrapper unchanged: same vertex as before on a smooth bowl.
+	gotU, err := ParabolicRefine(mkCost(1.5), 1.45, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotU-1.5) > 1e-9 {
+		t.Errorf("unbounded refine moved to %g", gotU)
 	}
 }
 
