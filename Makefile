@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-hot bench-fft obs-bench cover fuzz-smoke golden-update
+.PHONY: all build test vet race check bench bench-hot bench-fft obs-bench trace-smoke cover fuzz-smoke golden-update
 
 # Committed coverage floor (percent of statements): `make cover` fails when
 # total coverage drops below this.
@@ -46,6 +46,15 @@ bench-hot:
 	$(GO) run ./cmd/bistlab mask -scale 0.3 -metrics \
 		| awk '/^---- metrics ----$$/{found=1;next} found' > BENCH_hot_metrics.json
 	@echo "counter deltas written to BENCH_hot_metrics.json"
+	$(GO) test -run='^$$' -benchtime=3x -benchmem \
+		-bench='BenchmarkMaskBISTTraceOff$$|BenchmarkMaskBISTTraceOn$$' . \
+		| awk 'BEGIN { print "{"; \
+			print "  \"note\": \"trace recording overhead on the end-to-end mask BIST at scale 0.35: Off is the ambient state (every span site is one inlined atomic load), On records the full span tree and counter streams. Written by make bench-hot; ns/op swings ~15% on this shared host, allocs/op is exact.\","; \
+			print "  \"benchmarks\": {" } \
+		/^BenchmarkMaskBISTTrace/ { sub(/-[0-9]+$$/, "", $$1); if (seen++) printf ",\n"; \
+			printf "    \"%s\": {\"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}", $$1, $$3, $$5, $$7 } \
+		END { print "\n  }\n}" }' > BENCH_trace.json
+	@echo "trace overhead written to BENCH_trace.json"
 
 # bench-fft covers the plan-based transform engine and the Welch estimator
 # built on it. Compare against BENCH_plans.json (before/after for the plan
@@ -62,6 +71,21 @@ bench-fft:
 obs-bench:
 	$(GO) test -race ./internal/obs
 	$(GO) test -run='^$$' -bench='BenchmarkObs' -benchmem ./internal/obs
+
+# trace-smoke exercises the hierarchical trace pipeline end to end: a
+# reduced Fig. 6 run through the real CLI with both exporters on, the
+# Chrome JSON checked for well-formedness, and the normalized span tree
+# compared byte-for-byte against the committed golden. The structural
+# tests then re-check the same surface in-process (worker-count
+# invariance, Perfetto event layout, embedded provenance).
+trace-smoke:
+	$(GO) run ./cmd/bistlab fig6 -scale 0.25 \
+		-trace trace_smoke.trace.json -trace-normalized trace_smoke.norm.json > /dev/null
+	python3 -m json.tool trace_smoke.trace.json > /dev/null
+	cmp trace_smoke.norm.json cmd/bistlab/testdata/golden/fig6_trace_normalized.json
+	$(GO) test ./cmd/bistlab -run 'TestFig6NormalizedTraceGolden|TestMaskChromeTraceStructure|TestTraceToStdout|TestManifestFlag'
+	@rm -f trace_smoke.trace.json trace_smoke.norm.json
+	@echo "trace smoke OK"
 
 # cover measures total statement coverage and fails below COVER_FLOOR.
 cover:

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/modem"
+	"repro/internal/obs/trace"
 	"repro/internal/par"
 	"repro/internal/pnbs"
 	"repro/internal/skew"
@@ -117,6 +118,38 @@ func BenchmarkMaskBIST(b *testing.B) {
 			b.Fatalf("detection matrix wrong: %d escapes, %d alarms", r.Escapes, r.Alarms)
 		}
 		r.Render(io.Discard)
+	}
+}
+
+// BenchmarkMaskBISTTraceOff/On measure the cost of the hierarchical trace
+// layer on the end-to-end mask BIST: Off is the ambient state (every span
+// site reduced to one inlined atomic load), On records the full span tree
+// and counter streams into the in-memory buffers. The pair is recorded in
+// BENCH_trace.json by `make bench-hot`.
+func BenchmarkMaskBISTTraceOff(b *testing.B) {
+	if trace.Enabled() {
+		b.Fatal("a trace recording is active")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMaskBIST(0.35); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaskBISTTraceOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := trace.StartRecording(trace.Config{}); err != nil {
+			b.Fatal(err)
+		}
+		_, err := experiments.RunMaskBIST(0.35)
+		rec := trace.StopRecording()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rec.Spans) == 0 {
+			b.Fatal("recording captured nothing")
+		}
 	}
 }
 

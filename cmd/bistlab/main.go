@@ -30,9 +30,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/provenance"
+	"repro/internal/obs/trace"
 	"repro/internal/testkit"
 )
 
@@ -40,6 +44,9 @@ import (
 // latency histogram, so `bistlab all -metrics` profiles the whole paper
 // regeneration in one pass.
 var hExperiment = obs.H("bistlab.experiment.seconds", obs.LatencyBuckets)
+
+// tnBistlabRun is the root span every experiment invocation runs under.
+var tnBistlabRun = trace.Intern("bistlab.run")
 
 func main() {
 	if err := run(os.Stdout, os.Args[1:]); err != nil {
@@ -56,6 +63,12 @@ func run(w io.Writer, args []string) error {
 	metrics := fs.Bool("metrics", false, "collect runtime metrics and append a per-run metrics block to the report")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this address for the run's duration (implies -metrics)")
 	pprofFlag := fs.Bool("pprof", false, "also serve /debug/pprof on -metrics-addr (net/http/pprof)")
+	traceOut := fs.String("trace", "", "record a hierarchical trace and write Chrome trace-event JSON (Perfetto-loadable) to this file; - writes to stdout")
+	traceNorm := fs.String("trace-normalized", "", "also write the normalized (timestamp-free, worker-count-invariant) span tree to this file; - writes to stdout")
+	manifest := fs.Bool("manifest", false, "append the run-provenance manifest (canonical JSON) to the report")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (offline alternative to -pprof's live endpoint)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	runtimetrace := fs.String("runtimetrace", "", "write a runtime/trace execution trace (go tool trace) to this file; scheduler-level, unlike -trace's pipeline spans")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: bistlab <fig3a|fig3b|fig5|fig6|table1|eq4|dsweep|mask|flex|ablate|noise|yield|avg|loop|resp|all> [flags]")
 		fs.PrintDefaults()
@@ -89,6 +102,59 @@ func run(w io.Writer, args []string) error {
 			fmt.Fprintf(os.Stderr, "bistlab: pprof on http://%s/debug/pprof/\n", srv.Addr())
 		}
 	}
+	// Offline profiling (file-based, vs. -pprof's live endpoint — see
+	// README's Tracing section for when to use which).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bistlab: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bistlab: memprofile:", err)
+			}
+		}()
+	}
+	if *runtimetrace != "" {
+		f, err := os.Create(*runtimetrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
+	// The provenance manifest fingerprints this invocation; it is embedded
+	// in every trace export and appended standalone under -manifest.
+	collectManifest := func() (provenance.Manifest, error) {
+		return provenance.Collect("bistlab", name, experiments.DefaultPaperSetup().Seed,
+			struct {
+				Experiment string
+				Scale      float64
+				Points     int
+			}{name, *scale, *nPts})
+	}
+	tracing := *traceOut != "" || *traceNorm != ""
+	if tracing {
+		if err := trace.StartRecording(trace.Config{}); err != nil {
+			return err
+		}
+	}
 	runErr := func() error {
 		if name == "all" {
 			for _, n := range []string{"fig3a", "fig3b", "fig5", "fig6", "table1", "eq4", "dsweep", "mask", "flex", "ablate", "noise", "yield", "avg", "loop", "resp"} {
@@ -102,13 +168,73 @@ func run(w io.Writer, args []string) error {
 		}
 		return runOne(w, name, *scale, *nPts, *jsonOut)
 	}()
+	if tracing {
+		rec := trace.StopRecording()
+		if runErr == nil && rec != nil {
+			man, err := collectManifest()
+			if err != nil {
+				return err
+			}
+			rec.SetManifest(man)
+			if *traceOut != "" {
+				if err := writeArtifact(w, *traceOut, rec.WriteChrome); err != nil {
+					return fmt.Errorf("trace: %w", err)
+				}
+			}
+			if *traceNorm != "" {
+				b, err := rec.MarshalNormalized()
+				if err != nil {
+					return fmt.Errorf("trace-normalized: %w", err)
+				}
+				if err := writeArtifact(w, *traceNorm, func(out io.Writer) error {
+					_, err := out.Write(b)
+					return err
+				}); err != nil {
+					return fmt.Errorf("trace-normalized: %w", err)
+				}
+			}
+		}
+	}
 	if runErr != nil {
 		return runErr
+	}
+	if *manifest {
+		man, err := collectManifest()
+		if err != nil {
+			return err
+		}
+		b, err := man.MarshalCanonical()
+		if err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Fprintln(w, "---- provenance ----")
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
 	}
 	if collect {
 		return emitMetricsBlock(w, *jsonOut)
 	}
 	return nil
+}
+
+// writeArtifact writes via emitFn either to the report stream ("-") or to a
+// freshly created file.
+func writeArtifact(w io.Writer, path string, emitFn func(io.Writer) error) error {
+	if path == "-" {
+		return emitFn(w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emitFn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emitMetricsBlock appends the per-run metrics snapshot to the report: a
@@ -155,6 +281,9 @@ func runOne(w io.Writer, name string, scale float64, nPts int, jsonOut bool) err
 	obs.C("bistlab.runs." + name).Inc()
 	sp := hExperiment.Start()
 	defer sp.End()
+	tsp := trace.Start(trace.Root, tnBistlabRun)
+	tsp.SetAttr("experiment", name)
+	defer tsp.End()
 	setup := experiments.DefaultPaperSetup()
 	switch name {
 	case "fig3a":
@@ -172,7 +301,17 @@ func runOne(w io.Writer, name string, scale float64, nPts int, jsonOut bool) err
 		}
 		return emit(w, r, jsonOut)
 	case "fig6":
-		r, err := experiments.RunFig6(setup, nil, 0)
+		// -scale shrinks the cost-function point count and -points the
+		// rate-B capture length, which is what lets `make trace-smoke`
+		// capture a reduced Fig. 6 trace in seconds.
+		if scale > 0 && scale < 1 {
+			if n := int(float64(setup.NTimes) * scale); n >= 16 {
+				setup.NTimes = n
+			} else {
+				setup.NTimes = 16
+			}
+		}
+		r, err := experiments.RunFig6(setup, nil, nPts)
 		if err != nil {
 			return err
 		}

@@ -141,3 +141,52 @@ func TestRunWithMetricsAddr(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPprofMuxServesAllHandlers(t *testing.T) {
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	defer obs.Reset()
+	obs.Reset()
+	obs.C("test.pprof.mux").Inc()
+
+	srv, err := startMetricsServer("127.0.0.1:0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Every registered pprof route must answer, not just the index.
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/symbol",
+	} {
+		code, body := get(t, "http://"+srv.Addr()+path)
+		if code != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, code)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+	}
+
+	// Enabling pprof must not displace the metrics surface on the same mux.
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d with pprof enabled", code)
+	}
+	var snap struct {
+		Counters map[string]int64
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON with pprof enabled: %v", err)
+	}
+	if snap.Counters["test.pprof.mux"] != 1 {
+		t.Errorf("counter not visible with pprof enabled: %v", snap.Counters)
+	}
+	if code, _ := get(t, "http://"+srv.Addr()+"/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars status %d with pprof enabled", code)
+	}
+}

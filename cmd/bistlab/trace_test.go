@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/testkit"
+)
+
+// fig6Normalized runs the reduced Fig. 6 experiment through the real CLI
+// entry point with tracing on and returns the normalized trace bytes.
+func fig6Normalized(t *testing.T, workers int) []byte {
+	t.Helper()
+	prev := par.SetWorkers(workers)
+	defer par.SetWorkers(prev)
+	out := filepath.Join(t.TempDir(), "norm.json")
+	if err := run(discard{}, []string{"fig6", "-scale", "0.25", "-trace-normalized", out}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// discard is a throwaway writer for runs whose report we ignore.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// The normalized span tree of the reduced Fig. 6 run is part of the
+// repository's golden surface: byte-identical at any worker count and
+// pinned to a committed file, the same way the experiment's numbers are.
+func TestFig6NormalizedTraceGolden(t *testing.T) {
+	one := fig6Normalized(t, 1)
+	four := fig6Normalized(t, 4)
+	if !bytes.Equal(one, four) {
+		t.Fatalf("normalized trace differs between worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", one, four)
+	}
+	const golden = "testdata/golden/fig6_trace_normalized.json"
+	if *testkit.Update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, one, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(one))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	// Byte equality, not tolerance comparison: the normalized form contains
+	// no timestamps, so any drift is a structural change that should be
+	// reviewed and re-pinned deliberately.
+	if !bytes.Equal(one, want) {
+		t.Errorf("normalized trace drifted from golden (regenerate with -update if intended):\ngot:\n%s\nwant:\n%s", one, want)
+	}
+}
+
+// A traced mask run must export a Perfetto-loadable file with the BIST
+// stage spans, the provenance instant at the head, counter events, and one
+// thread row per par worker.
+func TestMaskChromeTraceStructure(t *testing.T) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	out := filepath.Join(t.TempDir(), "mask.trace.json")
+	if err := run(discard{}, []string{"mask", "-scale", "0.35", "-trace", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	count := map[string]int{}
+	workerRows := 0
+	provenanceIdx := -1
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X", "C":
+			count[ev.Name]++
+		case "I":
+			if ev.Name == "provenance" && provenanceIdx < 0 {
+				provenanceIdx = i
+			}
+		case "M":
+			if ev.Name == "thread_name" {
+				if n, _ := ev.Args["name"].(string); strings.HasPrefix(n, "par.worker.") {
+					workerRows++
+				}
+			}
+		}
+	}
+	for _, name := range []string{"core.bist.run", "core.stage.acquire", "core.stage.estimate",
+		"core.stage.reconstruct", "core.stage.measure", "skew.lms", "skew.lms.iter",
+		"skew.cost.eval", "par.worker", "par.task"} {
+		if count[name] == 0 {
+			t.Errorf("no %q spans in the mask trace", name)
+		}
+	}
+	counters := 0
+	for name, n := range count {
+		if strings.HasPrefix(name, "skew.lms.dhat[") || strings.HasPrefix(name, "skew.lms.cost[") {
+			counters += n
+		}
+	}
+	if counters == 0 {
+		t.Error("no LMS counter events in the mask trace")
+	}
+	if workerRows < 2 {
+		t.Errorf("%d par worker thread rows, want several at 4 workers", workerRows)
+	}
+	if provenanceIdx != 1 {
+		t.Errorf("provenance instant at event index %d, want 1 (after process_name)", provenanceIdx)
+	}
+	prov, _ := doc.OtherData["provenance"].(map[string]any)
+	if prov == nil {
+		t.Fatal("otherData missing the provenance manifest")
+	}
+	if prov["Tool"] != "bistlab" || prov["Experiment"] != "mask" {
+		t.Errorf("manifest identity wrong: %v", prov)
+	}
+	if h, _ := prov["ConfigHash"].(string); len(h) != 16 {
+		t.Errorf("manifest ConfigHash %q", h)
+	}
+}
+
+func TestTraceToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"fig3b", "-trace", "-"}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"traceEvents"`) {
+		t.Error("-trace - did not write the trace to the report stream")
+	}
+	if !strings.Contains(s, "bistlab.run") {
+		t.Error("trace missing the bistlab.run span")
+	}
+}
+
+func TestManifestFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"fig3b", "-manifest"}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "---- provenance ----") {
+		t.Error("-manifest did not append the provenance block")
+	}
+	for _, frag := range []string{`"Tool": "bistlab"`, `"Experiment": "fig3b"`, `"Seed": 2014`, `"ConfigHash"`} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("manifest missing %s", frag)
+		}
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	rt := filepath.Join(dir, "rt.trace")
+	if err := run(discard{}, []string{"fig3b", "-cpuprofile", cpu, "-memprofile", mem, "-runtimetrace", rt}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, rt} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not written: %v", filepath.Base(p), err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(p))
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/mask"
 	"repro/internal/modem"
+	"repro/internal/obs/trace"
 	"repro/internal/pnbs"
 	"repro/internal/rf"
 	"repro/internal/sig"
@@ -309,8 +310,9 @@ func calibrated(c *tiadc.Capture) (*tiadc.Capture, error) {
 	return m.Corrected(c)
 }
 
-// estimate runs Algorithm 1 on the acquired sets.
-func (b *BIST) estimate(setB, setB1 skew.SampleSet) (skew.LMSResult, *skew.CostEvaluator, error) {
+// estimate runs Algorithm 1 on the acquired sets under the estimate
+// stage's trace context, so the LMS spans nest inside the pipeline tree.
+func (b *BIST) estimate(tc trace.Ctx, setB, setB1 skew.SampleSet) (skew.LMSResult, *skew.CostEvaluator, error) {
 	lo, hi, err := skew.EvalWindow(setB, setB1, b.opt())
 	if err != nil {
 		return skew.LMSResult{}, nil, err
@@ -322,7 +324,7 @@ func (b *BIST) estimate(setB, setB1 skew.SampleSet) (skew.LMSResult, *skew.CostE
 	if err != nil {
 		return skew.LMSResult{}, nil, err
 	}
-	res, err := skew.Estimate(ce, b.cfg.D0, b.cfg.LMS)
+	res, err := skew.EstimateCtx(tc, ce, b.cfg.D0, b.cfg.LMS)
 	if err != nil {
 		return skew.LMSResult{}, nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/mask"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/par"
 	"repro/internal/pnbs"
 	"repro/internal/sig"
@@ -25,6 +26,19 @@ var (
 	hStageRecon   = obs.H("core.stage.reconstruct.seconds", obs.LatencyBuckets)
 	hStageMeasure = obs.H("core.stage.measure.seconds", obs.LatencyBuckets)
 	hRunTotal     = obs.H("core.stage.total.seconds", obs.LatencyBuckets)
+)
+
+// Trace span names for the pipeline (interned once). The histograms above
+// answer "how long do stages take on aggregate"; the spans place each
+// stage of each run on a timeline, nested under one root span per BIST
+// execution.
+var (
+	tnRun         = trace.Intern("core.bist.run")
+	tnAcquire     = trace.Intern("core.stage.acquire")
+	tnEstimate    = trace.Intern("core.stage.estimate")
+	tnReconstruct = trace.Intern("core.stage.reconstruct")
+	tnMeasure     = trace.Intern("core.stage.measure")
+	tnADCCheck    = trace.Intern("core.stage.adccheck")
 )
 
 // ComputeBudget estimates the arithmetic work of one BIST execution — the
@@ -130,17 +144,31 @@ func (r *Report) Summary() string {
 
 // Run executes the full BIST flow and returns the report.
 func (b *BIST) Run() (*Report, error) {
+	return b.RunCtx(trace.Root)
+}
+
+// RunCtx is Run under a trace parent: the whole execution nests in a
+// "core.bist.run" span with one "core.stage.*" child per pipeline stage,
+// so a capture shows where a run's wall time went — and, through the
+// children the estimate stage hands down to skew, how the LMS descent
+// spent it.
+func (b *BIST) RunCtx(tc trace.Ctx) (*Report, error) {
 	c := b.cfg
 	mRuns.Inc()
 	total := hRunTotal.Start()
 	defer total.End()
+	run := trace.Start(tc, tnRun)
+	run.SetAttr("scenario", b.tx.Describe())
+	defer run.End()
 	rep := &Report{
 		Scenario: b.tx.Describe(),
 		DNominal: c.NominalD,
 	}
 	// 0. Instrument pre-check: do not trust a broken converter.
 	if c.ADCCheck {
+		spChk := trace.Start(run.Ctx(), tnADCCheck)
 		chk, err := b.RunADCCheck()
+		spChk.End()
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +185,9 @@ func (b *BIST) Run() (*Report, error) {
 
 	// 1-2. Acquire the PA output nonuniformly at both rates.
 	spAcq := hStageAcquire.Start()
+	tAcq := trace.Start(run.Ctx(), tnAcquire)
 	setB, setB1, actualD, err := b.acquire()
+	tAcq.End()
 	spAcq.End()
 	if err != nil {
 		return nil, err
@@ -166,7 +196,9 @@ func (b *BIST) Run() (*Report, error) {
 
 	// 3. Identify the channel delay (Algorithm 1).
 	spEst := hStageEstim.Start()
-	res, ce, err := b.estimate(setB, setB1)
+	tEst := trace.Start(run.Ctx(), tnEstimate)
+	res, ce, err := b.estimate(tEst.Ctx(), setB, setB1)
+	tEst.End()
 	spEst.End()
 	if err != nil {
 		return nil, err
@@ -176,8 +208,10 @@ func (b *BIST) Run() (*Report, error) {
 
 	// 4. Reconstruct the bandpass waveform with the estimated delay.
 	spRec := hStageRecon.Start()
+	tRec := trace.Start(run.Ctx(), tnReconstruct)
 	rec, err := b.Reconstructor(setB, res.DHat)
 	if err != nil {
+		tRec.End()
 		spRec.End()
 		return nil, err
 	}
@@ -186,10 +220,13 @@ func (b *BIST) Run() (*Report, error) {
 	got := rec.AtTimes(ce.Times())
 	want := sig.SampleAt(truth, ce.Times())
 	rep.ReconRelErr = dsp.RelRMSError(got, want)
+	tRec.End()
 	spRec.End()
 
 	spMeas := hStageMeasure.Start()
 	defer spMeas.End()
+	tMeas := trace.Start(run.Ctx(), tnMeasure)
+	defer tMeas.End()
 
 	// 5. Spectral measurements.
 	if c.Mask != nil {
@@ -216,7 +253,7 @@ func (b *BIST) Run() (*Report, error) {
 			rep.ACPRHighDB = v
 		}
 		// Reference: the same measurement directly on the Tx envelope.
-		refSpec, err := b.referencePSD()
+		refSpec, err := b.referencePSD(tMeas.Ctx())
 		if err == nil {
 			if refRep, err := mask.Check(c.Mask, refSpec, c.Fc); err == nil {
 				rep.RefMask = refRep
@@ -292,12 +329,12 @@ func (b *BIST) Reconstructor(setB skew.SampleSet, dHat float64) (*pnbs.Reconstru
 // are independent per instant, so they fan out over the par pool; each
 // grid point's value depends only on its own instant, keeping the result
 // identical at any worker count.
-func (b *BIST) referencePSD() (*dsp.Spectrum, error) {
+func (b *BIST) referencePSD(tc trace.Ctx) (*dsp.Spectrum, error) {
 	c := b.cfg
 	env := b.tx.OutputEnvelope()
 	n := c.PSDLen
 	xs := make([]complex128, n)
-	par.For(n, func(i int) {
+	par.ForCtx(tc, n, func(i int) {
 		xs[i] = env.At(c.CaptureStart + float64(i)/c.B)
 	})
 	return dsp.WelchComplex(xs, c.B, c.Fc, dsp.DefaultWelch(c.SegLen))

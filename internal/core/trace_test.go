@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs/trace"
+	"repro/internal/par"
+	"repro/internal/testkit"
+)
+
+// Enabling a trace recording must not change a single output bit of the
+// pipeline — the same contract the metrics layer honours.
+func TestTraceDoesNotPerturbResults(t *testing.T) {
+	run := func() *Report {
+		t.Helper()
+		b, err := New(fastScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := b.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	off := run()
+	if err := trace.StartRecording(trace.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	on := run()
+	rec := trace.StopRecording()
+	if rec == nil || len(rec.Spans) == 0 {
+		t.Fatal("recording captured nothing")
+	}
+	offJSON, err := testkit.MarshalCanonical(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onJSON, err := testkit.MarshalCanonical(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(offJSON, onJSON) {
+		t.Error("report differs with tracing enabled")
+	}
+}
+
+// One traced BIST run must produce the full stage-span tree: a
+// core.bist.run root with every pipeline stage as a direct child, the LMS
+// subtree nested under the estimate stage, and one skew.lms.iter span per
+// reported outer iteration.
+func TestTraceStageSpans(t *testing.T) {
+	b, err := New(fastScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.StartRecording(trace.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Run()
+	rec := trace.StopRecording()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int32]trace.SpanData{}
+	count := map[string]int{}
+	for _, s := range rec.Spans {
+		byID[s.ID] = s
+		count[s.Name]++
+	}
+	if count["core.bist.run"] != 1 {
+		t.Fatalf("core.bist.run spans: %d, want 1", count["core.bist.run"])
+	}
+	for _, stage := range []string{"core.stage.acquire", "core.stage.estimate",
+		"core.stage.reconstruct", "core.stage.measure"} {
+		if count[stage] != 1 {
+			t.Errorf("%s spans: %d, want 1", stage, count[stage])
+		}
+	}
+	if got, want := count["skew.lms.iter"], rep.LMS.Iterations; got != want {
+		t.Errorf("skew.lms.iter spans: %d, want LMS iterations %d", got, want)
+	}
+	if got, want := count["skew.cost.eval"], rep.LMS.CostEvals; got != want {
+		t.Errorf("skew.cost.eval spans: %d, want cost evals %d", got, want)
+	}
+	// Parentage: every stage span is a direct child of the run span, and the
+	// LMS span's chain reaches the estimate stage.
+	var runID, estID int32
+	for _, s := range rec.Spans {
+		switch s.Name {
+		case "core.bist.run":
+			runID = s.ID
+		case "core.stage.estimate":
+			estID = s.ID
+		}
+	}
+	for _, s := range rec.Spans {
+		switch s.Name {
+		case "core.stage.acquire", "core.stage.estimate", "core.stage.reconstruct", "core.stage.measure":
+			if s.Parent != runID {
+				t.Errorf("%s parented to %d, want core.bist.run %d", s.Name, s.Parent, runID)
+			}
+		case "skew.lms":
+			if s.Parent != estID {
+				t.Errorf("skew.lms parented to %d, want core.stage.estimate %d", s.Parent, estID)
+			}
+		}
+	}
+	// The LMS counter tracks streamed one sample per history point.
+	dhat, cost := 0, 0
+	for _, c := range rec.Counters {
+		switch {
+		case len(c.Name) > 14 && c.Name[:14] == "skew.lms.dhat[":
+			dhat++
+		case len(c.Name) > 14 && c.Name[:14] == "skew.lms.cost[":
+			cost++
+		}
+	}
+	if dhat != len(rep.LMS.DHistory) || cost != len(rep.LMS.CostHistory) {
+		t.Errorf("counter samples dhat=%d cost=%d, want history lengths %d/%d",
+			dhat, cost, len(rep.LMS.DHistory), len(rep.LMS.CostHistory))
+	}
+}
+
+// The normalized span tree is byte-identical at any worker count: the
+// timeline moves, the structure does not.
+func TestTraceNormalizedIdenticalAcrossWorkers(t *testing.T) {
+	capture := func(workers int) []byte {
+		t.Helper()
+		prevW := par.SetWorkers(workers)
+		defer par.SetWorkers(prevW)
+		b, err := New(fastScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.StartRecording(trace.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		_, runErr := b.Run()
+		rec := trace.StopRecording()
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		enc, err := rec.MarshalNormalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	one := capture(1)
+	four := capture(4)
+	if !bytes.Equal(one, four) {
+		t.Errorf("normalized trace differs between worker counts:\nworkers=1:\n%s\nworkers=4:\n%s", one, four)
+	}
+}

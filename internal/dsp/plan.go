@@ -5,8 +5,10 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Plan is a precomputed transform descriptor for one (size, direction)
@@ -85,6 +87,19 @@ var (
 	mPlanBuilds = obs.C("dsp.plan.builds")
 )
 
+// Trace instruments: plan builds appear as spans on a shared "dsp.plan"
+// display track (they are the one-off trigonometry a capture should show
+// as cold-start cost, not steady-state work), and cache traffic streams
+// onto cumulative hit/build counter tracks. The cumulative counts reset
+// per recording (they count only while one is active), so a capture reads
+// "N hits since the recording started". All of it is behind the trace
+// gate; the hit path's only added cost when disabled is one atomic load.
+var (
+	tnPlanBuild     = trace.Intern("dsp.plan.build")
+	tracePlanHits   atomic.Int64
+	tracePlanBuilds atomic.Int64
+)
+
 // planSizeName labels a per-size cache counter: dsp.plan.<what>.<n>.<dir>.
 func planSizeName(what string, n int, inverse bool) string {
 	dir := "fwd"
@@ -110,11 +125,20 @@ func cachedPlan(n int, inverse bool) *Plan {
 		ent := e.(*planEntry)
 		mPlanHits.Inc()
 		ent.hits.Inc()
+		if trace.Enabled() {
+			trace.Counter(trace.Root, "dsp.plan.hits", float64(tracePlanHits.Add(1)))
+		}
 		return ent.p
 	}
 	mPlanMisses.Inc()
 	obs.C(planSizeName("misses", n, inverse)).Inc()
+	sp := trace.StartOnTrack("dsp.plan", trace.Root, tnPlanBuild)
+	sp.SetInt("n", int64(n))
 	p := NewPlan(n, inverse)
+	sp.End()
+	if trace.Enabled() {
+		trace.Counter(trace.Root, "dsp.plan.builds", float64(tracePlanBuilds.Add(1)))
+	}
 	mPlanBuilds.Inc()
 	obs.C(planSizeName("builds", n, inverse)).Inc()
 	ent := &planEntry{p: p, hits: obs.C(planSizeName("hits", n, inverse))}

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/obs/trace"
 	"repro/internal/par"
 	"repro/internal/skew"
 )
+
+var tnFig6 = trace.Intern("experiments.fig6")
 
 // Fig6Trace is one LMS run from a given starting estimate.
 type Fig6Trace struct {
@@ -45,15 +48,20 @@ func RunFig6(s PaperSetup, starts []float64, nB int) (*Fig6Result, error) {
 	res := &Fig6Result{DTrue: actualD}
 	// Each trace is an independent descent on the shared evaluator (Cost is
 	// concurrency-safe); the traces fan out over the pool and land in
-	// start-estimate order.
-	traces, err := par.MapErr(len(starts), func(i int) (Fig6Trace, error) {
+	// start-estimate order. Under a trace recording the sweep runs inside an
+	// "experiments.fig6" root span, each descent contributing its own
+	// skew.lms subtree and per-start counter tracks.
+	sp := trace.Start(trace.Root, tnFig6)
+	sp.SetInt("starts", int64(len(starts)))
+	traces, err := par.MapErrCtx(sp.Ctx(), len(starts), func(taskCtx trace.Ctx, i int) (Fig6Trace, error) {
 		d0 := starts[i]
-		r, err := skew.Estimate(ce, d0, skew.LMSConfig{Mu0: 1e-12})
+		r, err := skew.EstimateCtx(taskCtx, ce, d0, skew.LMSConfig{Mu0: 1e-12})
 		if err != nil {
 			return Fig6Trace{}, fmt.Errorf("experiments: LMS from %g: %w", d0, err)
 		}
 		return Fig6Trace{D0: d0, Result: r}, nil
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/testkit"
 )
 
 // withEnabled runs the test body with collection forced on and restores
@@ -303,5 +305,76 @@ func TestEnableDisableRoundTrip(t *testing.T) {
 	Disable()
 	if Enabled() {
 		t.Error("Disable did not stick")
+	}
+}
+
+// Snapshotting while other goroutines flip the global enable switch and
+// mutate metrics must be race-free and every snapshot internally sane:
+// counters only grow and histograms keep their bucket shape.
+func TestSnapshotUnderConcurrentEnableDisable(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	c := r.Counter("flip.hits")
+	h := r.Histogram("flip.lat", ExpBuckets(1, 10, 4))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Togglers hammer the global switch.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					SetEnabled(i%2 == 0)
+				}
+			}
+		}()
+	}
+	// Writers mutate through the gated paths.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(float64(i % 100))
+					r.Gauge("flip.active").Add(1)
+					r.Gauge("flip.active").Add(-1)
+				}
+			}
+		}()
+	}
+	var last int64 = -1
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		got := s.Counters["flip.hits"]
+		if got < last {
+			t.Fatalf("counter went backwards: %d -> %d", last, got)
+		}
+		last = got
+		if hv, ok := s.Histograms["flip.lat"]; ok {
+			// Individual cells are read atomically; the only structural
+			// invariant under concurrent writers is shape, not balance.
+			if len(hv.Counts) != len(hv.Bounds)+1 {
+				t.Fatalf("histogram shape: %d counts for %d bounds", len(hv.Counts), len(hv.Bounds))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// A final snapshot must marshal canonically regardless of where the
+	// togglers left the switch.
+	SetEnabled(true)
+	if _, err := testkit.MarshalCanonical(r.Snapshot()); err != nil {
+		t.Fatal(err)
 	}
 }

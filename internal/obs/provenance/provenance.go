@@ -1,0 +1,98 @@
+// Package provenance builds run-provenance manifests: the small record of
+// *what produced* a result file — tool, experiment, configuration hash, RNG
+// seed, toolchain, parallelism, and the VCS state baked into the binary by
+// the go toolchain. A manifest rides at the head of every trace export and
+// is printable standalone (bistlab -manifest), so any artifact checked into
+// a lab notebook can be traced back to the exact code and knobs that made
+// it.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/par"
+	"repro/internal/testkit"
+)
+
+// Manifest is the provenance record. All fields are plain strings/ints so
+// the canonical JSON form is stable across Go versions.
+type Manifest struct {
+	// Tool is the producing binary (e.g. "bistlab").
+	Tool string
+	// Experiment names the run ("fig6", "mask", ...).
+	Experiment string
+	// ConfigHash is a short sha256 over the canonical JSON of the run
+	// configuration (see Hash).
+	ConfigHash string
+	// Seed is the RNG seed the run was started with.
+	Seed int64
+	// GoVersion, GOOS and GOARCH describe the toolchain and target.
+	GoVersion string
+	GOOS      string
+	GOARCH    string
+	// GOMAXPROCS and Workers record the parallelism the run saw: the
+	// runtime's processor cap and the par pool width (BIST_WORKERS).
+	GOMAXPROCS int
+	Workers    int
+	// VCSRevision/VCSTime/VCSModified come from the build info stamped into
+	// the binary ("" when built outside a VCS checkout, e.g. go test).
+	VCSRevision string
+	VCSTime     string
+	VCSModified string
+}
+
+// Hash returns a short hex sha256 over the canonical JSON encoding of cfg —
+// the stable fingerprint of a run configuration. Any canonically
+// marshalable value works.
+func Hash(cfg any) (string, error) {
+	b, err := testkit.MarshalCanonical(cfg)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// Collect assembles the manifest for the current process. cfg is the run
+// configuration to fingerprint (nil leaves ConfigHash empty).
+func Collect(tool, experiment string, seed int64, cfg any) (Manifest, error) {
+	m := Manifest{
+		Tool:       tool,
+		Experiment: experiment,
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(),
+	}
+	if cfg != nil {
+		h, err := Hash(cfg)
+		if err != nil {
+			return Manifest{}, err
+		}
+		m.ConfigHash = h
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.VCSRevision = s.Value
+			case "vcs.time":
+				m.VCSTime = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value
+			}
+		}
+	}
+	return m, nil
+}
+
+// MarshalCanonical encodes the manifest in the repository's canonical JSON
+// form (sorted keys, trailing newline).
+func (m Manifest) MarshalCanonical() ([]byte, error) {
+	return testkit.MarshalCanonical(m)
+}

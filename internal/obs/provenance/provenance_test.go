@@ -1,0 +1,81 @@
+package provenance
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestCollectFillsEnvironment(t *testing.T) {
+	m, err := Collect("bistlab", "fig6", 2014, map[string]any{"Scale": 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "bistlab" || m.Experiment != "fig6" || m.Seed != 2014 {
+		t.Errorf("identity fields wrong: %+v", m)
+	}
+	if m.GoVersion != runtime.Version() || m.GOOS != runtime.GOOS || m.GOARCH != runtime.GOARCH {
+		t.Errorf("toolchain fields wrong: %+v", m)
+	}
+	if m.GOMAXPROCS != runtime.GOMAXPROCS(0) || m.Workers != par.Workers() {
+		t.Errorf("parallelism fields wrong: %+v", m)
+	}
+	if len(m.ConfigHash) != 16 {
+		t.Errorf("ConfigHash %q, want 16 hex chars", m.ConfigHash)
+	}
+}
+
+func TestHashIsStableAndOrderInsensitive(t *testing.T) {
+	h1, err := Hash(map[string]any{"a": 1, "b": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hash(map[string]any{"b": "x", "a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("canonical hash depends on map order: %s vs %s", h1, h2)
+	}
+	h3, err := Hash(map[string]any{"a": 2, "b": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h3 {
+		t.Error("different configs hash identically")
+	}
+}
+
+func TestCollectNilConfig(t *testing.T) {
+	m, err := Collect("bistlab", "mask", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConfigHash != "" {
+		t.Errorf("nil config produced hash %q", m.ConfigHash)
+	}
+}
+
+func TestMarshalCanonicalRoundTrips(t *testing.T) {
+	m, err := Collect("bistlab", "fig6", 2014, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Error("canonical form missing trailing newline")
+	}
+	var back Manifest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Errorf("round trip changed the manifest:\n%+v\n%+v", back, m)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import "testing"
+
+var benchName = Intern("bench.span")
+
+// The disabled path is the contract that lets instrumentation sit inside
+// the LMS hot loop: one atomic load, zero allocations, single-digit ns.
+func BenchmarkTraceDisabledSpan(b *testing.B) {
+	if Enabled() {
+		b.Fatal("a recording is active")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Start(Root, benchName)
+		sp.End()
+	}
+}
+
+func BenchmarkTraceDisabledSpanWithAttrs(b *testing.B) {
+	if Enabled() {
+		b.Fatal("a recording is active")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := Start(Root, benchName)
+		sp.SetInt("iter", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkTraceDisabledCounter(b *testing.B) {
+	if Enabled() {
+		b.Fatal("a recording is active")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Counter(Root, "bench.counter", float64(i))
+	}
+}
+
+func BenchmarkTraceEnabledSpan(b *testing.B) {
+	if err := StartRecording(Config{MaxSpans: 1 << 10}); err != nil {
+		b.Fatal(err)
+	}
+	defer StopRecording()
+	parent := Start(Root, benchName)
+	defer parent.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := Start(parent.Ctx(), benchName)
+		sp.End()
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event exporter renders a Recording in the JSON format
+// Perfetto and chrome://tracing load natively: "X" complete events for
+// spans (one thread row per display track), "C" events for counter tracks,
+// and an "I" instant carrying the provenance manifest as the first event,
+// so the file itself records what produced it.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+const chromePid = 1
+
+// WriteChrome renders the recording as Chrome trace-event JSON. The
+// attached manifest (SetManifest) is embedded twice: as the args of the
+// leading "provenance" instant event and under otherData, so both Perfetto
+// and plain JSON consumers can reach it.
+func (rec *Recording) WriteChrome(w io.Writer) error {
+	evs := make([]chromeEvent, 0, len(rec.Spans)+len(rec.Counters)+len(rec.Tracks)+2)
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "bist"},
+	})
+	if rec.manifest != nil {
+		evs = append(evs, chromeEvent{
+			Name: "provenance", Ph: "I", S: "g", Ts: 0, Pid: chromePid, Tid: 0,
+			Args: map[string]any{"provenance": rec.manifest},
+		})
+	}
+	// Thread rows: one per display track, sorted by id so the main track
+	// leads and worker rows group together.
+	trackIDs := make([]int32, 0, len(rec.Tracks))
+	for id := range rec.Tracks {
+		trackIDs = append(trackIDs, id)
+	}
+	sort.Slice(trackIDs, func(i, j int) bool { return trackIDs[i] < trackIDs[j] })
+	for _, id := range trackIDs {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: int(id),
+			Args: map[string]any{"name": rec.Tracks[id]},
+		})
+		evs = append(evs, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: int(id),
+			Args: map[string]any{"sort_index": int(id)},
+		})
+	}
+	for _, s := range rec.Spans {
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.Start) / 1e3,
+			Dur: float64(s.Dur) / 1e3,
+			Pid: chromePid, Tid: int(s.Track),
+		}
+		if len(s.Attrs) > 0 {
+			args := make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Val
+			}
+			ev.Args = args
+		}
+		evs = append(evs, ev)
+	}
+	for _, c := range rec.Counters {
+		evs = append(evs, chromeEvent{
+			Name: c.Name, Ph: "C",
+			Ts:  float64(c.T) / 1e3,
+			Pid: chromePid, Tid: int(c.Track),
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+	doc := chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"}
+	if rec.manifest != nil || rec.Dropped > 0 {
+		doc.OtherData = map[string]any{}
+		if rec.manifest != nil {
+			doc.OtherData["provenance"] = rec.manifest
+		}
+		if rec.Dropped > 0 {
+			doc.OtherData["droppedRecords"] = rec.Dropped
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

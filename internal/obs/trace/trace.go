@@ -1,0 +1,229 @@
+// Package trace is the time-resolved half of the repository's
+// observability layer: a hierarchical span recorder that answers *when*
+// and *in what order* the pipeline did its work — where the metrics
+// registry in internal/obs answers only *how much*. A recording renders as
+// Chrome trace-event JSON loadable in Perfetto (BIST stage spans, one span
+// per LMS iteration, D-hat/cost counter tracks, one row per par worker)
+// and as a canonical normalized span tree whose bytes are independent of
+// timing and worker count, so the *structure* of a run is golden-pinnable.
+//
+// Design contract (the reason instrumentation may sit inside the LMS hot
+// loop, mirroring internal/obs):
+//
+//   - Disabled (the default) every call is a no-op behind a single atomic
+//     pointer load; nothing allocates and no state changes. Enabled, a
+//     span is one atomic id allocation at Start and one slot write into a
+//     lock-free sharded buffer at End.
+//   - Tracing never feeds back into computation: enabling a recording
+//     cannot change a single output bit of any pipeline (asserted by test
+//     in internal/core).
+//   - Span names are interned once (package init in the instrumented
+//     packages), so Start carries an int32, not a string.
+//
+// Parentage is explicit: Start takes a Ctx (from Span.Ctx of the parent)
+// and a Start from the Root ctx opens a fresh display track, which is what
+// keeps concurrent root spans from different goroutines on separate rows.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NameID is an interned span name. Hot instrumentation sites hoist
+// Intern("pkg.span.name") into a package-level var so Start never touches
+// the intern table.
+type NameID int32
+
+// names is the process-wide intern table. Interning is expected at package
+// init or on cold paths; lookups during export take the read lock once per
+// recording, not per span.
+var names struct {
+	mu     sync.RWMutex
+	byName map[string]NameID
+	list   []string
+}
+
+// Intern returns the id for name, registering it on first use.
+func Intern(name string) NameID {
+	names.mu.Lock()
+	defer names.mu.Unlock()
+	if names.byName == nil {
+		names.byName = make(map[string]NameID)
+	}
+	if id, ok := names.byName[name]; ok {
+		return id
+	}
+	id := NameID(len(names.list))
+	names.list = append(names.list, name)
+	names.byName[name] = id
+	return id
+}
+
+// nameOf resolves an interned id (export path only).
+func nameOf(id NameID) string {
+	names.mu.RLock()
+	defer names.mu.RUnlock()
+	if int(id) < len(names.list) {
+		return names.list[id]
+	}
+	return "?"
+}
+
+// active is the recorder gate: nil means tracing is disabled and every
+// instrument degenerates to one atomic load. There is at most one active
+// recording per process (StartRecording errors on a second).
+var active atomic.Pointer[recorder]
+
+// Enabled reports whether a recording is in progress.
+func Enabled() bool { return active.Load() != nil }
+
+// Ctx names a position in the span tree: the parent span id plus the
+// display track child spans inherit. The zero Ctx is Root.
+type Ctx struct {
+	span  int32
+	track int32
+}
+
+// Root is the empty parent: a span started from Root opens its own display
+// track (named after the span), which keeps concurrent top-level spans on
+// separate Perfetto rows.
+var Root = Ctx{}
+
+// Attr is one key/value annotation on a span. Values are pre-rendered
+// strings so the record layout stays flat.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one in-flight measurement. The zero Span (from a disabled Start)
+// is inert: all methods are no-ops, so call sites never re-check Enabled.
+// Use it as an addressable local (sp := trace.Start(...); defer sp.End()).
+type Span struct {
+	rec    *recorder
+	id     int32
+	parent int32
+	track  int32
+	name   NameID
+	start  int64
+	attrs  []Attr
+}
+
+// Start opens a span under parent. With parent == Root the span gets a
+// fresh display track named "<name>#<id>"; otherwise it inherits the
+// parent's track. Disabled, it costs one atomic load and returns the inert
+// zero Span.
+func Start(parent Ctx, name NameID) (s Span) {
+	if active.Load() != nil {
+		s = startSlow(parent, name)
+	}
+	return
+}
+
+// startSlow is the enabled path, split out so Start itself stays under the
+// inlining budget and the disabled call collapses to the atomic load. It
+// re-loads the gate (rather than taking the recorder as an argument) to keep
+// Start's inline cost minimal; a recording stopped between the two loads
+// yields an inert span, which is the same outcome as racing Stop anywhere
+// else.
+func startSlow(parent Ctx, name NameID) Span {
+	r := active.Load()
+	if r == nil {
+		return Span{}
+	}
+	id := r.nextID.Add(1)
+	track := parent.track
+	if parent.span == 0 && parent.track == 0 {
+		track = r.uniqueTrack(nameOf(name), id)
+	}
+	return Span{rec: r, id: id, parent: parent.span, track: track, name: name, start: r.now()}
+}
+
+// StartOnTrack opens a root-level span on a shared named display track
+// (interning the label on first use), so repeated occurrences — par worker
+// slots, dsp plan builds — stack on one stable row instead of each opening
+// a new one.
+func StartOnTrack(trackLabel string, parent Ctx, name NameID) Span {
+	r := active.Load()
+	if r == nil {
+		return Span{}
+	}
+	id := r.nextID.Add(1)
+	return Span{rec: r, id: id, parent: parent.span, track: r.namedTrack(trackLabel),
+		name: name, start: r.now()}
+}
+
+// Active reports whether the span is recording (false for the zero Span).
+func (s *Span) Active() bool { return s.rec != nil }
+
+// Ctx returns the context child spans should start from.
+func (s *Span) Ctx() Ctx {
+	if s.rec == nil {
+		return Root
+	}
+	return Ctx{span: s.id, track: s.track}
+}
+
+// SetAttr annotates the span. No-op on the zero Span.
+func (s *Span) SetAttr(key, val string) {
+	if s.rec != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	}
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) {
+	if s.rec != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Val: formatInt(v)})
+	}
+}
+
+// SetFloat annotates the span with a float value (shortest round-trip
+// form, so attribute bytes are deterministic).
+func (s *Span) SetFloat(key string, v float64) {
+	if s.rec != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Val: formatFloat(v)})
+	}
+}
+
+// End completes the span and commits it to the recording. End on the zero
+// Span is free; End after StopRecording is lost (the recording has been
+// detached), which is why recordings stop only after the traced work has
+// quiesced.
+func (s *Span) End() {
+	if s.rec == nil {
+		return
+	}
+	s.endSlow()
+}
+
+func (s *Span) endSlow() {
+	s.rec.commit(spanRecord{
+		id:     s.id,
+		parent: s.parent,
+		track:  s.track,
+		name:   s.name,
+		start:  s.start,
+		dur:    s.rec.now() - s.start,
+		attrs:  s.attrs,
+	})
+	s.rec = nil
+}
+
+// Counter records one sample of a named counter series at the current
+// instant (a Perfetto "C" track). The name is carried as a string because
+// counter series are frequently synthesized per run (e.g. one D-hat track
+// per LMS starting estimate); emission is gated on the recording, so the
+// formatting cost exists only while tracing.
+func Counter(tc Ctx, name string, v float64) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	r.counter(counterRecord{name: name, track: tc.track, t: r.now(), seq: r.cseq.Add(1), value: v})
+}
+
+// now returns nanoseconds since the recording epoch (monotonic).
+func (r *recorder) now() int64 { return int64(time.Since(r.epoch)) }

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Pool instruments: dispatch volume plus live/peak worker occupancy. The
@@ -134,6 +135,118 @@ func For(n int, fn func(i int)) {
 	if panicV != nil {
 		panic(fmt.Sprintf("par: worker panic: %v", panicV))
 	}
+}
+
+// Trace span names, interned once. Worker spans land on shared named
+// display tracks ("par.worker.NN"), so a Perfetto capture shows one row per
+// pool slot with the tasks that ran on it stacked beneath.
+var (
+	tnWorker = trace.Intern("par.worker")
+	tnTask   = trace.Intern("par.task")
+)
+
+// ForCtx is For with trace attribution: while a recording is active each
+// pool slot runs under a "par.worker" span on its own display row and each
+// item under a "par.task" child span carrying its index. With tracing
+// disabled it is exactly For — same pool, same counters, no added
+// allocations — so hot paths can adopt it without a benchmark penalty.
+//
+// Task-to-worker assignment is scheduling-dependent, which is why par.*
+// spans are excluded from the normalized (golden-pinned) trace form and
+// exist only for the timeline view.
+func ForCtx(tc trace.Ctx, n int, fn func(i int)) {
+	if !trace.Enabled() {
+		For(n, fn)
+		return
+	}
+	forTraced(tc, n, func(_ trace.Ctx, i int) { fn(i) })
+}
+
+// forTraced mirrors For's pool loop with span instrumentation; fn receives
+// the "par.task" span's context so callees can nest their own spans on the
+// worker's display row. It is a separate body (rather than a hook inside
+// For) so the untraced path keeps its exact allocation profile.
+func forTraced(tc trace.Ctx, n int, fn func(taskCtx trace.Ctx, i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	mForCalls.Inc()
+	mForTasks.Add(int64(n))
+	runTask := func(wc trace.Ctx, i int) {
+		sp := trace.Start(wc, tnTask)
+		sp.SetInt("i", int64(i))
+		defer sp.End()
+		fn(sp.Ctx(), i)
+	}
+	if w <= 1 {
+		mForInline.Inc()
+		ws := trace.StartOnTrack("par.worker.00", tc, tnWorker)
+		wc := ws.Ctx()
+		for i := 0; i < n; i++ {
+			runTask(wc, i)
+		}
+		ws.End()
+		return
+	}
+	var (
+		next    atomic.Int64
+		abort   atomic.Bool
+		panicMu sync.Mutex
+		panicV  any
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(slot int) {
+			mActive.Add(1)
+			defer mActive.Add(-1)
+			defer wg.Done()
+			ws := trace.StartOnTrack(fmt.Sprintf("par.worker.%02d", slot), tc, tnWorker)
+			defer ws.End()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+					abort.Store(true)
+				}
+			}()
+			wc := ws.Ctx()
+			for !abort.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runTask(wc, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(fmt.Sprintf("par: worker panic: %v", panicV))
+	}
+}
+
+// MapErrCtx is MapErr with trace attribution (see ForCtx). fn receives the
+// item's "par.task" span context — Root while tracing is disabled — so
+// traced callees nest under the worker row that actually ran them.
+func MapErrCtx[T any](tc trace.Ctx, n int, fn func(taskCtx trace.Ctx, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if !trace.Enabled() {
+		For(n, func(i int) { out[i], errs[i] = fn(trace.Root, i) })
+	} else {
+		forTraced(tc, n, func(taskCtx trace.Ctx, i int) { out[i], errs[i] = fn(taskCtx, i) })
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // ForErr calls fn(i) for every i in [0, n) on the pool and returns the

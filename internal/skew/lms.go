@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs/trace"
 	"repro/internal/par"
 )
 
@@ -22,6 +23,30 @@ type LMSConfig struct {
 	// DMin and DMax bound the search; the caller normally passes
 	// ]margin, m - margin[ per Section IV-A.
 	DMin, DMax float64
+}
+
+// Validate rejects configurations that the zero-value defaulting would
+// otherwise let through silently: a negative iteration cap, non-finite or
+// negative step sizes and tolerances, and non-finite bounds. Zero values
+// remain "use the default"; Validate only rejects values that cannot mean
+// anything. EstimateLMS (and everything layered on it) calls this, so a
+// typo like Mu0: -1e-12 fails fast with a config error instead of
+// descending in the wrong direction.
+func (c LMSConfig) Validate() error {
+	notFinite := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	switch {
+	case c.MaxIter < 0:
+		return fmt.Errorf("skew: LMSConfig.MaxIter %d is negative", c.MaxIter)
+	case notFinite(c.Mu0) || c.Mu0 < 0:
+		return fmt.Errorf("skew: LMSConfig.Mu0 %g must be finite and >= 0", c.Mu0)
+	case notFinite(c.TolStep) || c.TolStep < 0:
+		return fmt.Errorf("skew: LMSConfig.TolStep %g must be finite and >= 0", c.TolStep)
+	case notFinite(c.TolCost) || c.TolCost < 0:
+		return fmt.Errorf("skew: LMSConfig.TolCost %g must be finite and >= 0", c.TolCost)
+	case notFinite(c.DMin) || notFinite(c.DMax):
+		return fmt.Errorf("skew: LMSConfig bounds [%g, %g] must be finite", c.DMin, c.DMax)
+	}
+	return nil
 }
 
 func (c LMSConfig) withDefaults() LMSConfig {
@@ -65,9 +90,45 @@ type CostFunc func(dHat float64) (float64, error)
 // signed step of magnitude mu, which makes mu directly interpretable in
 // seconds.
 func EstimateLMS(cost CostFunc, d0 float64, cfg LMSConfig) (LMSResult, error) {
+	return EstimateLMSCtx(trace.Root, cost, d0, cfg)
+}
+
+// Trace span names for the LMS descent (interned once). The per-iteration
+// spans and the D-hat/cost counter tracks are the Fig. 6 telemetry: a
+// Perfetto capture of one estimation shows each outer iteration as a child
+// span annotated with its evaluation count, and the convergence trajectory
+// as two counter tracks streamed from the same append sites that feed
+// DHistory/CostHistory.
+var (
+	tnLMS      = trace.Intern("skew.lms")
+	tnLMSIter  = trace.Intern("skew.lms.iter")
+	tnCostEval = trace.Intern("skew.cost.eval")
+)
+
+// EstimateLMSCtx is EstimateLMS under a trace parent: the whole descent
+// runs inside a "skew.lms" span, each outer iteration in a "skew.lms.iter"
+// child, and every objective evaluation in a "skew.cost.eval" child. The
+// counter-track names embed the starting estimate ("skew.lms.dhat[d0=...ps]")
+// so concurrent estimations — the Fig. 6 sweep runs its starts in parallel —
+// land on separate, deterministically named tracks. With tracing disabled
+// the extra cost is a handful of atomic loads across the whole descent.
+func EstimateLMSCtx(tc trace.Ctx, cost CostFunc, d0 float64, cfg LMSConfig) (LMSResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return LMSResult{}, err
+	}
 	c := cfg.withDefaults()
 	if c.DMax <= c.DMin {
 		return LMSResult{}, fmt.Errorf("skew: LMS bounds [%g, %g] invalid", c.DMin, c.DMax)
+	}
+	sp := trace.Start(tc, tnLMS)
+	defer sp.End()
+	var dhatTrack, costTrack string
+	if sp.Active() {
+		sp.SetFloat("d0", d0)
+		sp.SetFloat("mu0", c.Mu0)
+		label := fmt.Sprintf("[d0=%gps]", d0*1e12)
+		dhatTrack = "skew.lms.dhat" + label
+		costTrack = "skew.lms.cost" + label
 	}
 	clamp := func(d float64) float64 {
 		if d < c.DMin {
@@ -83,7 +144,20 @@ func EstimateLMS(cost CostFunc, d0 float64, cfg LMSConfig) (LMSResult, error) {
 	evals := 0
 	eval := func(d float64) (float64, error) {
 		evals++
-		return cost(d)
+		es := trace.Start(sp.Ctx(), tnCostEval)
+		v, err := cost(d)
+		es.End()
+		return v, err
+	}
+	// record appends one accepted point to the Fig. 6 history and, while
+	// tracing, streams it onto the run's counter tracks (D-hat in ps).
+	record := func(d, eps float64) {
+		res.DHistory = append(res.DHistory, d)
+		res.CostHistory = append(res.CostHistory, eps)
+		if sp.Active() {
+			trace.Counter(sp.Ctx(), dhatTrack, d*1e12)
+			trace.Counter(sp.Ctx(), costTrack, eps)
+		}
 	}
 	epsPrev, err := eval(d0)
 	if err != nil {
@@ -99,13 +173,21 @@ func EstimateLMS(cost CostFunc, d0 float64, cfg LMSConfig) (LMSResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("skew: LMS probe cost: %w", err)
 	}
-	res.DHistory = append(res.DHistory, d0, d)
-	res.CostHistory = append(res.CostHistory, epsPrev, eps)
+	record(d0, epsPrev)
+	record(d, eps)
 	dPrev := d0
 	for iter := 0; iter < c.MaxIter; iter++ {
 		res.Iterations = iter + 1
+		it := trace.Start(sp.Ctx(), tnLMSIter)
+		it.SetInt("iter", int64(iter))
+		evalsEntry := evals
+		endIter := func() {
+			it.SetInt("evals", int64(evals-evalsEntry))
+			it.End()
+		}
 		if c.TolCost > 0 && eps < c.TolCost {
 			res.Converged = true
+			endIter()
 			break
 		}
 		grad := 0.0
@@ -128,13 +210,13 @@ func EstimateLMS(cost CostFunc, d0 float64, cfg LMSConfig) (LMSResult, error) {
 				dNext := clamp(d + dir*mu)
 				epsNext, err := eval(dNext)
 				if err != nil {
+					endIter()
 					return res, fmt.Errorf("skew: LMS cost at %g: %w", dNext, err)
 				}
 				if epsNext < eps {
 					dPrev, epsPrev = d, eps
 					d, eps = dNext, epsNext
-					res.DHistory = append(res.DHistory, d)
-					res.CostHistory = append(res.CostHistory, eps)
+					record(d, eps)
 					accepted = true
 					break
 				}
@@ -142,6 +224,7 @@ func EstimateLMS(cost CostFunc, d0 float64, cfg LMSConfig) (LMSResult, error) {
 			}
 			dir = -dir
 		}
+		endIter()
 		if !accepted {
 			res.Converged = true
 			break
@@ -150,18 +233,27 @@ func EstimateLMS(cost CostFunc, d0 float64, cfg LMSConfig) (LMSResult, error) {
 	}
 	res.DHat = d
 	res.CostEvals = evals
+	if sp.Active() {
+		sp.SetFloat("dhat", d)
+		sp.SetInt("cost_evals", int64(evals))
+	}
 	return res, nil
 }
 
 // Estimate runs Algorithm 1 against a CostEvaluator with sensible bounds:
 // the search interval is ]margin, m - margin[ with margin = m/1000.
 func Estimate(ce *CostEvaluator, d0 float64, cfg LMSConfig) (LMSResult, error) {
+	return EstimateCtx(trace.Root, ce, d0, cfg)
+}
+
+// EstimateCtx is Estimate under a trace parent (see EstimateLMSCtx).
+func EstimateCtx(tc trace.Ctx, ce *CostEvaluator, d0 float64, cfg LMSConfig) (LMSResult, error) {
 	m := ce.M()
 	if cfg.DMin == 0 && cfg.DMax == 0 {
 		cfg.DMin = m / 1000
 		cfg.DMax = m * 0.999
 	}
-	return EstimateLMS(ce.Cost, d0, cfg)
+	return EstimateLMSCtx(tc, ce.Cost, d0, cfg)
 }
 
 // CostCurve samples the cost function over nPts delays spanning [dLo, dHi]
@@ -171,6 +263,18 @@ func Estimate(ce *CostEvaluator, d0 float64, cfg LMSConfig) (LMSResult, error) {
 // midpoint (the float64(nPts-1) grid denominator would otherwise divide by
 // zero and return a NaN delay).
 func CostCurve(ce *CostEvaluator, dLo, dHi float64, nPts int) (ds, costs []float64) {
+	return CostCurveCtx(trace.Root, ce, dLo, dHi, nPts)
+}
+
+var tnCostCurve = trace.Intern("skew.costcurve")
+
+// CostCurveCtx is CostCurve under a trace parent: the sweep runs inside a
+// "skew.costcurve" span and the fan-out goes through par.ForCtx, so a
+// capture shows the per-point evaluations on worker rows.
+func CostCurveCtx(tc trace.Ctx, ce *CostEvaluator, dLo, dHi float64, nPts int) (ds, costs []float64) {
+	sp := trace.Start(tc, tnCostCurve)
+	sp.SetInt("points", int64(nPts))
+	defer sp.End()
 	if nPts < 2 {
 		if nPts < 1 {
 			return []float64{}, []float64{}
@@ -184,7 +288,7 @@ func CostCurve(ce *CostEvaluator, dLo, dHi float64, nPts int) (ds, costs []float
 	}
 	ds = make([]float64, nPts)
 	costs = make([]float64, nPts)
-	par.For(nPts, func(i int) {
+	par.ForCtx(sp.Ctx(), nPts, func(i int) {
 		d := dLo + (dHi-dLo)*float64(i)/float64(nPts-1)
 		ds[i] = d
 		v, err := ce.Cost(d)

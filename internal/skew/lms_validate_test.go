@@ -1,0 +1,68 @@
+package skew
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLMSConfigValidate(t *testing.T) {
+	valid := LMSConfig{Mu0: 1e-12, MaxIter: 50, TolStep: 1e-14, DMin: 1e-12, DMax: 1e-9}
+	cases := []struct {
+		name    string
+		mutate  func(*LMSConfig)
+		wantErr string
+	}{
+		{"valid", func(c *LMSConfig) {}, ""},
+		{"zero values default", func(c *LMSConfig) { *c = LMSConfig{DMin: 1e-12, DMax: 1e-9} }, ""},
+		{"negative MaxIter", func(c *LMSConfig) { c.MaxIter = -1 }, "MaxIter"},
+		{"negative Mu0", func(c *LMSConfig) { c.Mu0 = -1e-12 }, "Mu0"},
+		{"NaN Mu0", func(c *LMSConfig) { c.Mu0 = math.NaN() }, "Mu0"},
+		{"Inf Mu0", func(c *LMSConfig) { c.Mu0 = math.Inf(1) }, "Mu0"},
+		{"negative TolStep", func(c *LMSConfig) { c.TolStep = -1 }, "TolStep"},
+		{"NaN TolStep", func(c *LMSConfig) { c.TolStep = math.NaN() }, "TolStep"},
+		{"negative TolCost", func(c *LMSConfig) { c.TolCost = -1 }, "TolCost"},
+		{"NaN TolCost", func(c *LMSConfig) { c.TolCost = math.NaN() }, "TolCost"},
+		{"NaN DMin", func(c *LMSConfig) { c.DMin = math.NaN() }, "bounds"},
+		{"Inf DMax", func(c *LMSConfig) { c.DMax = math.Inf(1) }, "bounds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Validate() = %q, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// EstimateLMS must reject an invalid config before evaluating the cost
+// function — the silent behaviors this replaces (negative MaxIter skipping
+// the loop, NaN Mu0 poisoning the probe) never touched the objective
+// either, but returned a plausible-looking result.
+func TestEstimateLMSRejectsInvalidConfig(t *testing.T) {
+	evals := 0
+	cost := func(d float64) (float64, error) { evals++; return d * d, nil }
+	_, err := EstimateLMS(cost, 1e-10, LMSConfig{MaxIter: -3, DMin: 1e-12, DMax: 1e-9})
+	if err == nil || !strings.Contains(err.Error(), "MaxIter") {
+		t.Fatalf("EstimateLMS with negative MaxIter: err = %v", err)
+	}
+	_, err = EstimateLMS(cost, 1e-10, LMSConfig{Mu0: math.NaN(), DMin: 1e-12, DMax: 1e-9})
+	if err == nil || !strings.Contains(err.Error(), "Mu0") {
+		t.Fatalf("EstimateLMS with NaN Mu0: err = %v", err)
+	}
+	if evals != 0 {
+		t.Errorf("invalid configs evaluated the cost %d times", evals)
+	}
+}
