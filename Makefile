@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-hot bench-fft obs-bench trace-smoke cover fuzz-smoke golden-update
+.PHONY: all build test vet race check bench bench-hot bench-block bench-fft obs-bench trace-smoke cover fuzz-smoke golden-update
 
 # Committed coverage floor (percent of statements): `make cover` fails when
 # total coverage drops below this.
@@ -46,15 +46,53 @@ bench-hot:
 	$(GO) run ./cmd/bistlab mask -scale 0.3 -metrics \
 		| awk '/^---- metrics ----$$/{found=1;next} found' > BENCH_hot_metrics.json
 	@echo "counter deltas written to BENCH_hot_metrics.json"
-	$(GO) test -run='^$$' -benchtime=3x -benchmem \
+	$(GO) test -run='^$$' -benchtime=6x -benchmem \
 		-bench='BenchmarkMaskBISTTraceOff$$|BenchmarkMaskBISTTraceOn$$' . \
 		| awk 'BEGIN { print "{"; \
-			print "  \"note\": \"trace recording overhead on the end-to-end mask BIST at scale 0.35: Off is the ambient state (every span site is one inlined atomic load), On records the full span tree and counter streams. Written by make bench-hot; ns/op swings ~15% on this shared host, allocs/op is exact.\","; \
+			print "  \"note\": \"trace recording overhead on the end-to-end mask BIST at scale 0.35: Off is the ambient state (every span site is one inlined atomic load), On records the full span tree and counter streams. Written by make bench-hot; allocs/op is exact, ns/op is noisy on a shared host — overhead_pct inside the noise_band_pct window means no overhead was resolved (an On row faster than Off is sampling noise, not a speedup).\","; \
+			print "  \"noise_band_pct\": 15,"; \
 			print "  \"benchmarks\": {" } \
 		/^BenchmarkMaskBISTTrace/ { sub(/-[0-9]+$$/, "", $$1); if (seen++) printf ",\n"; \
+			ns[$$1] = $$3; \
 			printf "    \"%s\": {\"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}", $$1, $$3, $$5, $$7 } \
-		END { print "\n  }\n}" }' > BENCH_trace.json
+		END { print "\n  },"; \
+			off = ns["BenchmarkMaskBISTTraceOff"]; on = ns["BenchmarkMaskBISTTraceOn"]; \
+			pct = (off > 0) ? (on - off) * 100.0 / off : 0; \
+			printf "  \"overhead_pct\": %.1f\n}\n", pct; \
+			if (pct < -15) { \
+				print "FAIL: TraceOn measured " pct "% FASTER than TraceOff — beyond the 15% noise band, the measurement is broken; rerun bench-hot on a quiet host" > "/dev/stderr"; \
+				exit 1 } \
+			if (pct > 50) \
+				print "WARNING: trace overhead " pct "% above the expected 50% ceiling — rerun bench-hot on a quiet host" > "/dev/stderr" }' > BENCH_trace.json
+	@python3 -m json.tool BENCH_trace.json > /dev/null
 	@echo "trace overhead written to BENCH_trace.json"
+
+# bench-block records the blocked batch kernel and streaming-capture
+# revision of the LMS hot path into BENCH_block.json: the per-instant At
+# vs AtBlock kernels, the fused measure-stage grid path, the blocked cost
+# evaluation and the end-to-end mask BIST. Interpretation note: the
+# estimate stage's arithmetic is pinned bit-for-bit by the committed
+# goldens (the LMS trajectory is part of the contract), so the end-to-end
+# floor is set by that frozen operation sequence — the recorded JSON
+# carries that caveat alongside the numbers.
+bench-block:
+	$(GO) test -run='^$$' -benchtime=100000x -benchmem \
+		-bench='BenchmarkReconstructorAt61Taps$$|BenchmarkAtBlock61Taps$$|BenchmarkEnvelopeGrid$$' . \
+		| awk '/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); \
+			printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %d, \"allocs_per_op\": %d},\n", $$1, $$3, $$5, $$7 }' > .bench_block_rows.tmp
+	$(GO) test -run='^$$' -benchtime=20x -benchmem \
+		-bench='BenchmarkCostEvaluation$$' . \
+		| awk '/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); \
+			printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %d, \"allocs_per_op\": %d},\n", $$1, $$3, $$5, $$7 }' >> .bench_block_rows.tmp
+	$(GO) test -run='^$$' -benchtime=5x -benchmem \
+		-bench='BenchmarkMaskBISTTraceOff$$' . \
+		| awk '/^Benchmark/ { sub(/-[0-9]+$$/, "", $$1); \
+			printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %d, \"allocs_per_op\": %d}\n", $$1, $$3, $$5, $$7 }' >> .bench_block_rows.tmp
+	@{ printf '{\n  "note": "Blocked batch kernel + streaming capture revision. AtBlock is bit-identical to At (the goldens pin the LMS cost floats), so the estimate stage keeps the frozen per-instant operation sequence and its wall-clock floor; the grid, capture and measure paths are free to reassociate and carry the end-to-end win. The kernel rows are 0 allocs/op in steady state; the end-to-end row carries one-time per-unit allocations (block/grid prep tables, int16 capture memory, pipeline channel) that replace per-eval work. ns/op swings ~15%% run to run on a shared host; allocs/op is exact.",\n  "benchmarks": {\n'; \
+	cat .bench_block_rows.tmp; printf '  }\n}\n'; } > BENCH_block.json
+	@rm -f .bench_block_rows.tmp
+	@python3 -m json.tool BENCH_block.json > /dev/null
+	@echo "blocked-kernel benchmarks written to BENCH_block.json"
 
 # bench-fft covers the plan-based transform engine and the Welch estimator
 # built on it. Compare against BENCH_plans.json (before/after for the plan
@@ -102,6 +140,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPlanVsDirect -fuzztime=10s ./internal/dsp
 	$(GO) test -run='^$$' -fuzz=FuzzFIRLinearity -fuzztime=10s ./internal/dsp
 	$(GO) test -run='^$$' -fuzz=FuzzReconstructRetune -fuzztime=10s ./internal/pnbs
+	$(GO) test -run='^$$' -fuzz=FuzzAtBlockVsAt -fuzztime=10s ./internal/pnbs
 
 # golden-update regenerates the committed golden vectors after an intended
 # numeric change. Inspect the diff before committing.

@@ -214,6 +214,72 @@ func benchRecon(b *testing.B, halfTaps int) {
 func BenchmarkReconstructorAt61Taps(b *testing.B)  { benchRecon(b, 30) }
 func BenchmarkReconstructorAt121Taps(b *testing.B) { benchRecon(b, 60) }
 
+// benchReconBlock measures the blocked batch path over a sorted instant
+// block (ns/op is per instant, directly comparable to benchRecon): the
+// delay-independent tables are prepared once and reused across candidate
+// delays, which is the LMS hot-loop shape.
+func benchReconBlock(b *testing.B, halfTaps int) {
+	band := pnbs.Band{FLow: 955e6, B: 90e6}
+	d := 180e-12
+	tt := band.T()
+	n := 512
+	ch0 := make([]float64, n)
+	ch1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ch0[i] = math.Cos(2 * math.Pi * 1e9 * float64(i) * tt)
+		ch1[i] = math.Cos(2 * math.Pi * 1e9 * (float64(i)*tt + d))
+	}
+	r, err := pnbs.NewReconstructor(band, d, 0, ch0, ch1, pnbs.Options{HalfTaps: halfTaps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := r.ValidRange()
+	const nt = 300
+	ts := make([]float64, nt)
+	for i := range ts {
+		ts[i] = lo + float64(i)/(nt-1)*(hi-lo)
+	}
+	dst := make([]float64, nt)
+	r.AtBlock(ts, dst) // build the per-instant tables outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += nt {
+		r.AtBlock(ts, dst)
+	}
+}
+
+func BenchmarkAtBlock61Taps(b *testing.B)  { benchReconBlock(b, 30) }
+func BenchmarkAtBlock121Taps(b *testing.B) { benchReconBlock(b, 60) }
+
+// BenchmarkEnvelopeGrid measures the measure stage's fused per-phase grid
+// path (ns/op per grid point at 8x oversampling).
+func BenchmarkEnvelopeGrid(b *testing.B) {
+	band := pnbs.Band{FLow: 955e6, B: 90e6}
+	d := 180e-12
+	tt := band.T()
+	n := 4096
+	ch0 := make([]float64, n)
+	ch1 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ch0[i] = math.Cos(2 * math.Pi * 1e9 * float64(i) * tt)
+		ch1[i] = math.Cos(2 * math.Pi * 1e9 * (float64(i)*tt + d))
+	}
+	r, err := pnbs.NewReconstructor(band, d, 0, ch0, ch1, pnbs.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, _ := r.ValidRange()
+	const np = 2048
+	out := make([]complex128, np)
+	fs := band.B * 8
+	r.EnvelopeGridInto(1e9, lo, fs, out) // warm the per-phase tables
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += np {
+		r.EnvelopeGridInto(1e9, lo, fs, out)
+	}
+}
+
 func BenchmarkCostEvaluation(b *testing.B) {
 	bandB := pnbs.Band{FLow: 955e6, B: 90e6}
 	bandB1 := skew.HalfRateBand(bandB)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/modem"
 	"repro/internal/par"
 	"repro/internal/rf"
+	"repro/internal/sig"
 )
 
 func main() {
@@ -92,9 +93,7 @@ func run(args []string, out, diag io.Writer) error {
 	fs := 4 * (*rate) * (1 + *alpha)
 	xs := make([]complex128, *npsd)
 	env := tx.OutputEnvelope()
-	par.For(len(xs), func(i int) {
-		xs[i] = env.At(float64(i) / fs)
-	})
+	sampleEnvelope(env, fs, xs)
 	spec, err := dsp.WelchComplex(xs, fs, *fc, dsp.DefaultWelch(*seg))
 	if err != nil {
 		return err
@@ -125,6 +124,16 @@ func run(args []string, out, diag io.Writer) error {
 			res.RMSPercent, res.DB, res.PeakPercent)
 	}
 	return nil
+}
+
+// sampleEnvelope evaluates the envelope on the uniform grid i/fs into the
+// caller's buffer — the same write-into idiom as pnbs.AtTimesInto /
+// EnvelopeInto, so repeated invocations (sweep scripts calling run() in a
+// loop) can reuse one buffer and the fan-out itself never allocates.
+func sampleEnvelope(env sig.Envelope, fs float64, out []complex128) {
+	par.For(len(out), func(i int) {
+		out[i] = env.At(float64(i) / fs)
+	})
 }
 
 // symsAt returns n symbols from the cyclic stream starting at k0.

@@ -102,11 +102,14 @@ func (a *ADC) Quantize(v float64) float64 {
 	return code * lsb
 }
 
-// Sample acquires the signal at the given instants, applying aperture
-// jitter, gain, offset, noise and quantization. The instants themselves are
-// the requested (nominal) times; the jitter perturbs the actual acquisition.
-func (a *ADC) Sample(x sig.Signal, times []float64) []float64 {
-	out := make([]float64, len(times))
+// Analog runs the analog front end at the given instants — aperture jitter,
+// gain, offset, input-referred noise — without quantization, writing the
+// held voltages into out (len(out) must be >= len(times)). It consumes the
+// converter's random streams in index order, so successive calls must cover
+// ascending, non-overlapping index ranges on one goroutine: this is the
+// producer stage of the streaming capture pipeline, which owns exactly that
+// ordering.
+func (a *ADC) Analog(x sig.Signal, times, out []float64) {
 	for i, t := range times {
 		te := t
 		if a.cfg.JitterRMS > 0 {
@@ -116,9 +119,55 @@ func (a *ADC) Sample(x sig.Signal, times []float64) []float64 {
 		if a.cfg.NoiseRMS > 0 {
 			v += a.cfg.NoiseRMS * a.rng.NormFloat64()
 		}
+		out[i] = v
+	}
+}
+
+// Sample acquires the signal at the given instants, applying aperture
+// jitter, gain, offset, noise and quantization. The instants themselves are
+// the requested (nominal) times; the jitter perturbs the actual acquisition.
+func (a *ADC) Sample(x sig.Signal, times []float64) []float64 {
+	out := make([]float64, len(times))
+	a.Analog(x, times, out)
+	for i, v := range out {
 		out[i] = a.Quantize(v)
 	}
 	return out
+}
+
+// Int16Capable reports whether this converter's output fits the packed
+// fixed-point capture format: a mid-rise quantizer emits codes at odd
+// half-LSB multiples, so twice the code is an odd integer — representable
+// in an int16 for up to 15 bits — provided no static-nonlinearity profile
+// shifts the reconstruction levels off the uniform grid. The paper's 10-bit
+// converters qualify with room to spare.
+func (a *ADC) Int16Capable() bool {
+	return a.cfg.Bits > 0 && a.cfg.Bits <= 15 && a.cfg.NL == nil
+}
+
+// EncodeInt16 quantizes an analog value to the packed code 2*code (an odd
+// integer; the clipping matches Quantize). Only valid for an Int16Capable
+// converter.
+func (a *ADC) EncodeInt16(v float64) int16 {
+	lsb := a.LSB()
+	half := float64(int64(1) << uint(a.cfg.Bits-1))
+	code := math.Floor(v/lsb) + 0.5
+	if code > half-0.5 {
+		code = half - 0.5
+	}
+	if code < -half+0.5 {
+		code = -half + 0.5
+	}
+	return int16(2 * code)
+}
+
+// DecodeInt16 maps a packed code back to the reconstructed analog level.
+// Halving the code is exact and the final multiply is the same operation
+// Quantize performs, so DecodeInt16(EncodeInt16(v)) == Quantize(v)
+// bit-for-bit — the property that lets the fixed-point capture buffer feed
+// the float64 reconstruction pipeline with unchanged goldens.
+func (a *ADC) DecodeInt16(c int16) float64 {
+	return float64(c) / 2 * a.LSB()
 }
 
 // SNRIdealDB returns the ideal quantization SNR 6.02 N + 1.76 dB for a

@@ -2,6 +2,7 @@ package adc
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -242,5 +243,72 @@ func TestNLValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Bits: 10, FullScale: 1, NL: nl}); err == nil {
 		t.Error("NL size mismatch must fail")
+	}
+}
+
+func TestInt16CodecMatchesQuantizeExactly(t *testing.T) {
+	for _, bits := range []int{4, 10, 15} {
+		a, err := New(Config{Bits: bits, FullScale: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Int16Capable() {
+			t.Fatalf("%d-bit NL-free converter must be int16 capable", bits)
+		}
+		rng := rand.New(rand.NewSource(int64(bits)))
+		for i := 0; i < 20000; i++ {
+			// Cover the rails and beyond (clipping) as well as the core range.
+			v := (rng.Float64() - 0.5) * 3
+			c := a.EncodeInt16(v)
+			if c&1 == 0 {
+				t.Fatalf("bits=%d v=%g: packed code %d must be odd", bits, v, c)
+			}
+			if got, want := a.DecodeInt16(c), a.Quantize(v); got != want {
+				t.Fatalf("bits=%d v=%g: decode %g != quantize %g", bits, v, got, want)
+			}
+		}
+		// Exact rails.
+		for _, v := range []float64{-1, 1, -1e9, 1e9, 0} {
+			if got, want := a.DecodeInt16(a.EncodeInt16(v)), a.Quantize(v); got != want {
+				t.Fatalf("bits=%d rail v=%g: decode %g != quantize %g", bits, v, got, want)
+			}
+		}
+	}
+}
+
+func TestInt16CapableGate(t *testing.T) {
+	if a, _ := New(Config{}); a.Int16Capable() {
+		t.Error("ideal (unquantized) converter must not be int16 capable")
+	}
+	if a, _ := New(Config{Bits: 16, FullScale: 1}); a.Int16Capable() {
+		t.Error("16-bit converter must not be int16 capable (codes overflow)")
+	}
+	nl := &StaticNL{INL: make([]float64, 1<<4)}
+	if a, _ := New(Config{Bits: 4, FullScale: 1, NL: nl}); a.Int16Capable() {
+		t.Error("static-NL converter must not be int16 capable")
+	}
+}
+
+func TestAnalogThenQuantizeMatchesSample(t *testing.T) {
+	cfg := Config{Bits: 10, FullScale: 1.5, Gain: 1.02, Offset: 3e-3,
+		JitterRMS: 3e-12, NoiseRMS: 1e-3, Seed: 99}
+	a1, _ := New(cfg)
+	a2, _ := New(cfg)
+	tone := &sig.Tone{Amp: 1, Freq: 13e6}
+	times := sig.UniformTimes(0, 1e-8, 500)
+	want := a1.Sample(tone, times)
+	// Split front end across several sequential calls, then quantize: the
+	// random-stream order is per index, so the result is bit-identical.
+	got := make([]float64, len(times))
+	a2.Analog(tone, times[:137], got[:137])
+	a2.Analog(tone, times[137:400], got[137:400])
+	a2.Analog(tone, times[400:], got[400:])
+	for i, v := range got {
+		got[i] = a2.Quantize(v)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: split path %g != Sample %g", i, got[i], want[i])
+		}
 	}
 }

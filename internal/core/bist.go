@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dsp"
 	"repro/internal/mask"
@@ -67,6 +68,12 @@ type Config struct {
 	CaptureLen int
 	// CaptureStart is the nominal first sampling instant.
 	CaptureStart float64
+	// StreamChunk sets the acquisition pipeline chunk size in samples
+	// (0 = 256): the analog front end overlaps with quantization and int16
+	// packing on chunk boundaries (see tiadc.Config.StreamChunk). Captures —
+	// and therefore every downstream estimate and measurement — are
+	// bit-identical at every chunk size. TI.StreamChunk, when set, wins.
+	StreamChunk int
 	// CalibrateMismatch enables the background gain/offset calibration of
 	// the two channels before reconstruction (paper Section III / [16]).
 	CalibrateMismatch bool
@@ -181,13 +188,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// BIST is a configured self-test engine.
+// BIST is a configured self-test engine. It is not safe for concurrent
+// use: the measure stage reuses a scratch grid buffer across measurements.
 type BIST struct {
 	cfg  Config
 	band pnbs.Band
 	tx   *rf.Transmitter
 	ti   *tiadc.TIADC
 	bb   *modem.ShapedEnvelope
+	// gridBuf is the reusable oversampled-envelope scratch of
+	// envelopeGrid (see there).
+	gridBuf []complex128
 }
 
 // New validates the configuration and assembles the test article and
@@ -233,7 +244,24 @@ func New(cfg Config) (*BIST, error) {
 		if err != nil {
 			return nil, err
 		}
-		bb.SetAvgPower(c.BasebandPower, 4096)
+		// The normalisation gain is a pure function of the waveform
+		// generation parameters (the symbols are drawn deterministically
+		// from the seed), and SetAvgPower's power estimate samples the
+		// envelope thousands of times. A fault-matrix experiment builds
+		// tens of BISTs with the same test waveform, so the computed gain
+		// is cached by those parameters — a hit reproduces the exact same
+		// Gain value the full estimate would.
+		key := gainKey{
+			constellation: c.Constellation, numSymbols: c.NumSymbols, seed: c.Seed,
+			symbolRate: c.SymbolRate, rollOff: c.RollOff, pulseSpan: c.PulseSpan,
+			power: c.BasebandPower,
+		}
+		if g, ok := gainCache.Load(key); ok {
+			bb.Gain = g.(float64)
+		} else {
+			bb.SetAvgPower(c.BasebandPower, 4096)
+			gainCache.Store(key, bb.Gain)
+		}
 		baseband = bb
 	}
 	txCfg := c.Tx
@@ -242,7 +270,11 @@ func New(cfg Config) (*BIST, error) {
 	if err != nil {
 		return nil, err
 	}
-	ti, err := tiadc.New(c.TI)
+	tiCfg := c.TI
+	if tiCfg.StreamChunk == 0 {
+		tiCfg.StreamChunk = c.StreamChunk
+	}
+	ti, err := tiadc.New(tiCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -363,17 +395,58 @@ func (b *BIST) envelopeGrid(r *pnbs.Reconstructor, n int) (env []complex128, fsE
 		return nil, 0, 0, fmt.Errorf("core: capture too short for a %d-point PSD grid", n)
 	}
 	t0 = lo
-	ts := make([]float64, n*over)
-	for i := range ts {
-		ts[i] = t0 + float64(i)/fsHi
+	// The oversampled evaluation runs through the reconstructor's fused
+	// per-phase grid tables (the delay is fixed after estimation, so the
+	// per-tap window x kernel factors repeat every `over` grid points);
+	// the scratch buffer is reused across the measure stage's grids (mask
+	// PSD, EVM, IRR all land here) so repeated measurements on one BIST
+	// stay allocation-free on the hot path.
+	if cap(b.gridBuf) < n*over {
+		b.gridBuf = make([]complex128, n*over)
 	}
-	raw := r.Envelope(b.cfg.Fc, ts)
-	lp, err := dsp.DesignLowpass(91, 0.45/float64(over), dsp.KaiserWin, dsp.KaiserBeta(70))
+	raw := b.gridBuf[:n*over]
+	r.EnvelopeGridInto(b.cfg.Fc, t0, fsHi, raw)
+	lp, err := decimLowpass(over)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	return lp.Decimate(raw, over), fsEnv, t0, nil
 }
+
+// decimLowpass returns the shared anti-image decimation filter for an
+// oversampling factor. The design depends only on `over`, so one FIR per
+// factor is designed process-wide and reused read-only (Decimate never
+// mutates the taps); without this every envelope grid re-ran the
+// windowed-sinc design.
+func decimLowpass(over int) (*dsp.FIR, error) {
+	if v, ok := lowpassCache.Load(over); ok {
+		return v.(*dsp.FIR), nil
+	}
+	lp, err := dsp.DesignLowpass(91, 0.45/float64(over), dsp.KaiserWin, dsp.KaiserBeta(70))
+	if err != nil {
+		return nil, err
+	}
+	v, _ := lowpassCache.LoadOrStore(over, lp)
+	return v.(*dsp.FIR), nil
+}
+
+var lowpassCache sync.Map // int (oversampling factor) -> *dsp.FIR
+
+// gainKey identifies one deterministic test waveform for the normalisation
+// gain cache in New: every field that influences the generated symbols, the
+// SRRC pulse, or the target power participates, so two configs share a gain
+// only when SetAvgPower would compute the identical value.
+type gainKey struct {
+	constellation string
+	numSymbols    int
+	seed          int64
+	symbolRate    float64
+	rollOff       float64
+	pulseSpan     int
+	power         float64
+}
+
+var gainCache sync.Map // gainKey -> float64
 
 // measurePSD produces the RF-referred Welch PSD from a reconstructed
 // envelope grid.

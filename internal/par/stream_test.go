@@ -1,0 +1,101 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStreamCoversEveryIndexInOrder(t *testing.T) {
+	for _, tc := range []struct{ n, chunk, depth int }{
+		{100, 7, 1}, {100, 0, 0}, {5, 100, 3}, {256, 256, 2}, {1, 1, 1},
+	} {
+		var produced, consumed []int
+		Stream(tc.n, tc.chunk, tc.depth,
+			func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					produced = append(produced, i)
+				}
+			},
+			func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					consumed = append(consumed, i)
+				}
+			})
+		if len(produced) != tc.n || len(consumed) != tc.n {
+			t.Fatalf("n=%d chunk=%d: produced %d consumed %d", tc.n, tc.chunk,
+				len(produced), len(consumed))
+		}
+		for i := 0; i < tc.n; i++ {
+			if produced[i] != i || consumed[i] != i {
+				t.Fatalf("n=%d chunk=%d: out of order at %d: produced %d consumed %d",
+					tc.n, tc.chunk, i, produced[i], consumed[i])
+			}
+		}
+	}
+}
+
+func TestStreamConsumerSeesOnlyProducedChunks(t *testing.T) {
+	// The consumer must never run ahead of the producer: every index it
+	// touches has already been written by stage 1.
+	n := 10_000
+	vals := make([]int64, n)
+	var bad atomic.Int64
+	Stream(n, 64, 2,
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.StoreInt64(&vals[i], int64(i)+1)
+			}
+		},
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if atomic.LoadInt64(&vals[i]) != int64(i)+1 {
+					bad.Add(1)
+				}
+			}
+		})
+	if bad.Load() != 0 {
+		t.Fatalf("consumer observed %d unproduced indices", bad.Load())
+	}
+}
+
+func TestStreamZeroAndNegativeN(t *testing.T) {
+	called := false
+	Stream(0, 4, 2, func(lo, hi int) { called = true }, func(lo, hi int) { called = true })
+	Stream(-5, 4, 2, func(lo, hi int) { called = true }, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("stages ran for n <= 0")
+	}
+}
+
+func TestStreamProducerPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "boom-produce") {
+			t.Fatalf("recover: %v", r)
+		}
+	}()
+	Stream(100, 8, 2,
+		func(lo, hi int) {
+			if lo >= 16 {
+				panic("boom-produce")
+			}
+		},
+		func(lo, hi int) {})
+}
+
+func TestStreamConsumerPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "boom-consume") {
+			t.Fatalf("recover: %v", r)
+		}
+	}()
+	Stream(100, 8, 1,
+		func(lo, hi int) {},
+		func(lo, hi int) {
+			if lo >= 16 {
+				panic("boom-consume")
+			}
+		})
+}

@@ -1,0 +1,216 @@
+package pnbs
+
+import "math"
+
+// This file implements the blocked batch evaluation path of the Eq. (6)
+// reconstructor: AtBlock evaluates a whole instant block for one candidate
+// delay D-hat in a single cache-friendly pass over precomputed per-instant
+// tables, producing values BIT-IDENTICAL to calling At per instant.
+//
+// Bit-identity is the load-bearing property: the LMS trajectory, the curated
+// metrics golden and the normalized fig6 trace golden all pin the exact cost
+// floats of the per-instant path, so the batch path must execute the same
+// floating-point operation sequence per instant — only the delay-independent
+// setup may move. What moves to prepare time:
+//
+//   - tap-span geometry: n0 = round((t-t0)/T), the clamped [nLo, nHi] span,
+//     the first prompt-channel offset dt0Start = t - t0 - nLo T and the
+//     delayed-channel base t0 + nLo T (dt1 = base1 + D - t, associating
+//     exactly like At's expression);
+//   - the prompt-channel offsets dt0 accumulated tap to tap by the same
+//     repeated subtraction At performs, stored verbatim;
+//   - the prompt-channel window values w(dt0), which depend only on the
+//     instant and the filter — the single per-tap window/LUT evaluation the
+//     hot loop no longer repeats per candidate delay.
+//
+// What stays per candidate (delay-dependent, same ops as At): the eight
+// phasor seeds, the per-tap phasor recurrence, the delayed-channel window
+// w(dt1), the kernel denominators and the accumulation order. The tables are
+// delay-independent by construction, so they survive Retune — the same
+// property the kernel's retune exploits for phi0/phi1.
+
+// blockRow holds the per-instant geometry of a prepared block.
+type blockRow struct {
+	// nLo is the first capture index of the tap span (clamped like At);
+	// cnt is the tap count, zero for instants outside the capture.
+	nLo, cnt int32
+	// off locates this instant's taps in blockPrep.w0 / blockPrep.dt0s.
+	off int32
+	// dt0Start is t - t0 - nLo T, the first prompt-channel offset.
+	dt0Start float64
+	// base1 is t0 + nLo T; the delayed-channel offset at eval time is
+	// dt1 = base1 + D - t, associating exactly like At.
+	base1 float64
+}
+
+// blockPrep is the immutable prepared form of one instant block.
+type blockPrep struct {
+	ts   []float64 // snapshot of the instants (value identity)
+	rows []blockRow
+	w0   []float64 // window(dt0) per tap — delay-independent
+	dt0s []float64 // the exact accumulated dt0 sequence per tap
+}
+
+// matches reports whether the prepared block covers exactly these instants.
+// Comparison is by value, so an equal block in fresh backing storage (or a
+// caller that mutated and restored the slice) still hits the cache, and a
+// mutated slice misses it.
+func (p *blockPrep) matches(ts []float64) bool {
+	if p == nil || len(ts) != len(p.ts) {
+		return false
+	}
+	for i, t := range ts {
+		if t != p.ts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildBlockPrep computes the delay-independent per-instant tables. The tap
+// geometry (n0, clamping, dt0 accumulation by repeated subtraction) and the
+// window evaluation mirror At exactly, so the stored offsets and window
+// values are bit-identical to what the per-instant path recomputes.
+func (r *Reconstructor) buildBlockPrep(ts []float64) *blockPrep {
+	h := r.opt.HalfTaps
+	p := &blockPrep{
+		ts:   append([]float64(nil), ts...),
+		rows: make([]blockRow, len(ts)),
+		w0:   make([]float64, 0, (2*h+1)*len(ts)),
+		dt0s: make([]float64, 0, (2*h+1)*len(ts)),
+	}
+	for i, t := range ts {
+		row := &p.rows[i]
+		n0 := int(math.Round((t - r.t0) / r.tStep))
+		nLo := n0 - h
+		if nLo < 0 {
+			nLo = 0
+		}
+		nHi := n0 + h
+		if nHi > len(r.ch0)-1 {
+			nHi = len(r.ch0) - 1
+		}
+		row.off = int32(len(p.w0))
+		if nLo > nHi {
+			continue // out-of-capture instant: At returns 0
+		}
+		row.nLo = int32(nLo)
+		row.cnt = int32(nHi - nLo + 1)
+		dt0 := t - r.t0 - float64(nLo)*r.tStep
+		row.dt0Start = dt0
+		row.base1 = r.t0 + float64(nLo)*r.tStep
+		for n := nLo; n <= nHi; n++ {
+			p.dt0s = append(p.dt0s, dt0)
+			p.w0 = append(p.w0, r.window(dt0))
+			dt0 -= r.tStep
+		}
+	}
+	return p
+}
+
+// PrepareBlock ensures the delay-independent tables for this instant block
+// are built, reusing the cached tables when the instants are value-equal to
+// the previous block. It is the serial point callers use before fanning
+// AtBlockRange over a worker pool, so concurrent ranges share one build.
+// The build is a pure function of the instants and the capture, so a
+// racing double-build (possible when AtBlock is called concurrently with a
+// new block) produces identical tables and last-write-wins is safe.
+func (r *Reconstructor) PrepareBlock(ts []float64) {
+	if r.block.Load().matches(ts) {
+		return
+	}
+	r.block.Store(r.buildBlockPrep(ts))
+}
+
+// AtBlock evaluates the reconstruction at every instant of the block,
+// writing dst[i] = At(ts[i]) (len(dst) must be >= len(ts)) — equality is
+// bit-exact, not approximate; the differential tests and FuzzAtBlockVsAt
+// pin it. The instants may be in any order; locality is best when they are
+// sorted. Splitting a block over workers with AtBlockRange and folding in
+// index order is therefore bit-identical at any worker count.
+func (r *Reconstructor) AtBlock(ts []float64, dst []float64) {
+	r.PrepareBlock(ts)
+	r.AtBlockRange(ts, 0, len(ts), dst)
+}
+
+// AtBlockRange evaluates instants [lo, hi) of a prepared block, writing
+// dst[j] for ts[lo+j]. The caller must have called PrepareBlock(ts) (or
+// AtBlock) first; ranges of the same block may run concurrently.
+func (r *Reconstructor) AtBlockRange(ts []float64, lo, hi int, dst []float64) {
+	p := r.block.Load()
+	if !p.matches(ts) {
+		// Defensive fallback: an unprepared (or concurrently replaced)
+		// block still evaluates correctly, just without shared tables.
+		p = r.buildBlockPrep(ts)
+		r.block.Store(p)
+	}
+	k := r.kern
+	d := k.D()
+	den0 := 2 * math.Pi * k.band.B * k.sin0
+	den1 := 2 * math.Pi * k.band.B * k.sin1
+	cA0, cB0, cA1, cB1 := r.cjA0, r.cjB0, r.cjA1, r.cjB1
+	for i := lo; i < hi; i++ {
+		row := &p.rows[i]
+		if row.cnt == 0 {
+			dst[i-lo] = 0
+			continue
+		}
+		t := ts[i]
+		// Phasor seeds: same expressions as At, with the precomputed
+		// delay-independent offsets substituted in.
+		dt0 := row.dt0Start
+		zA0 := cis(k.a0*dt0 - k.phi0)
+		zB0 := cis(k.b0*dt0 - k.phi0)
+		zA1 := cis(k.a1*dt0 - k.phi1)
+		zB1 := cis(k.b1*dt0 - k.phi1)
+		dt1 := row.base1 + d - t
+		yA0 := cis(k.a0*dt1 - k.phi0)
+		yB0 := cis(k.b0*dt1 - k.phi0)
+		yA1 := cis(k.a1*dt1 - k.phi1)
+		yB1 := cis(k.b1*dt1 - k.phi1)
+		// The four parallel arrays are resliced to one shared length so the
+		// inner loop indexes them without per-access bounds checks.
+		w0 := p.w0[row.off : row.off+row.cnt]
+		dt0s := p.dt0s[row.off:][:len(w0)]
+		ch0 := r.ch0[row.nLo:][:len(w0)]
+		ch1 := r.ch1[row.nLo:][:len(w0)]
+		acc := 0.0
+		for j := range w0 {
+			if w := w0[j]; w != 0 {
+				dt0 := dt0s[j]
+				var sv float64
+				if math.Abs(dt0) < 1e-12 {
+					sv = k.S(dt0)
+				} else {
+					if !k.s0Zero {
+						sv = (real(zA0) - real(zB0)) / (den0 * dt0)
+					}
+					sv += (real(zA1) - real(zB1)) / (den1 * dt0)
+				}
+				acc += ch0[j] * sv * w
+			}
+			if w := r.window(dt1); w != 0 {
+				var sv float64
+				if math.Abs(dt1) < 1e-12 {
+					sv = k.S(dt1)
+				} else {
+					if !k.s0Zero {
+						sv = (real(yA0) - real(yB0)) / (den0 * dt1)
+					}
+					sv += (real(yA1) - real(yB1)) / (den1 * dt1)
+				}
+				acc += ch1[j] * sv * w
+			}
+			zA0 *= r.rotA0
+			zB0 *= r.rotB0
+			zA1 *= r.rotA1
+			zB1 *= r.rotB1
+			dt1 += r.tStep
+			yA0 *= cA0
+			yB0 *= cB0
+			yA1 *= cA1
+			yB1 *= cB1
+		}
+		dst[i-lo] = acc
+	}
+}

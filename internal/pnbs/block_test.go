@@ -1,0 +1,201 @@
+package pnbs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAtBlockMatchesAtAndReference is the tentpole differential: over
+// random bands, delays and instant orders, AtBlock must be BIT-IDENTICAL
+// to the per-instant At path (the batch path hoists only delay-independent
+// setup, never reassociating the per-instant arithmetic), and must agree
+// with the direct Sincos oracle atReference to the same tolerance At does.
+func TestAtBlockMatchesAtAndReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bands := []Band{
+		{FLow: 955e6, B: 90e6},   // the paper band
+		{FLow: 977.5e6, B: 45e6}, // its half-rate companion
+		{FLow: 430e6, B: 70e6},
+		{FLow: 1.21e9, B: 33e6},
+		{FLow: 225e6, B: 50e6}, // 2 fl / B = 9: integer-positioned, s0 = 0
+	}
+	for bi, band := range bands {
+		for trial := 0; trial < 3; trial++ {
+			d := band.OptimalD() * (0.5 + rng.Float64())
+			ch0, ch1 := toneCapture(band, d, 220)
+			// Stress rough data too: the tables fold the capture verbatim.
+			if trial == 2 {
+				for i := range ch0 {
+					ch0[i] += 0.1 * (2*rng.Float64() - 1)
+					ch1[i] += 0.1 * (2*rng.Float64() - 1)
+				}
+			}
+			r, err := NewReconstructor(band, d, 0, ch0, ch1, Options{})
+			if err != nil {
+				t.Fatalf("band %d: %v", bi, err)
+			}
+			lo, hi := r.ValidRange()
+			ts := make([]float64, 97)
+			for i := range ts {
+				ts[i] = lo + (hi-lo)*rng.Float64()
+			}
+			// Include instants outside the valid range and on a sample
+			// instant (singular tap offsets) among the random ones.
+			ts[0] = lo - 40*r.tStep // clamped tap span
+			ts[1] = r.t0 + 57*r.tStep
+			dst := make([]float64, len(ts))
+			r.AtBlock(ts, dst)
+			for i, tv := range ts {
+				at := r.At(tv)
+				if dst[i] != at {
+					t.Fatalf("band %d trial %d t=%g: AtBlock %.17g != At %.17g",
+						bi, trial, tv, dst[i], at)
+				}
+				ref := r.atReference(tv)
+				if rd := math.Abs(dst[i] - ref); rd > 1e-9*math.Max(math.Abs(dst[i]), math.Abs(ref))+1e-9 {
+					t.Fatalf("band %d trial %d t=%g: AtBlock %g vs atReference %g",
+						bi, trial, tv, dst[i], ref)
+				}
+			}
+		}
+	}
+}
+
+// TestAtBlockRangeSplitInvariance: evaluating a block in one piece, in many
+// contiguous ranges, or one instant at a time must produce bit-identical
+// values — the property the par-fanned blocked Cost relies on.
+func TestAtBlockRangeSplitInvariance(t *testing.T) {
+	r, ts := invarianceFixture(t)
+	whole := make([]float64, len(ts))
+	r.AtBlock(ts, whole)
+	for _, pieces := range []int{2, 3, 7, len(ts)} {
+		got := make([]float64, len(ts))
+		for g := 0; g < pieces; g++ {
+			lo := g * len(ts) / pieces
+			hi := (g + 1) * len(ts) / pieces
+			r.AtBlockRange(ts, lo, hi, got[lo:hi])
+		}
+		for i := range got {
+			if got[i] != whole[i] {
+				t.Fatalf("pieces=%d i=%d: %.17g != whole-block %.17g", pieces, i, got[i], whole[i])
+			}
+		}
+	}
+}
+
+// TestAtBlockPrepSurvivesRetune: the per-block tables are delay
+// independent, so a Retune must reuse them and still evaluate exactly like
+// a reconstructor freshly built at the new delay (which builds its own
+// tables from scratch), which in turn must equal the per-instant At path
+// bit for bit.
+func TestAtBlockPrepSurvivesRetune(t *testing.T) {
+	band := Band{FLow: 955e6, B: 90e6}
+	ch0, ch1 := toneCapture(band, 180e-12, 260)
+	r, err := NewReconstructor(band, 180e-12, 0, ch0, ch1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := r.ValidRange()
+	rng := rand.New(rand.NewSource(5))
+	ts := make([]float64, 64)
+	for i := range ts {
+		ts[i] = lo + (hi-lo)*rng.Float64()
+	}
+	warm := make([]float64, len(ts))
+	r.AtBlock(ts, warm) // builds the tables at d = 180 ps
+	for _, d := range []float64{120e-12, 240e-12, 180e-12} {
+		if err := r.Retune(d); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, len(ts))
+		r.AtBlock(ts, got) // must hit the cached tables
+		fresh, err := NewReconstructor(band, d, 0, ch0, ch1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, len(ts))
+		fresh.AtBlock(ts, want)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("d=%g i=%d: retuned block %.17g != fresh build %.17g", d, i, got[i], want[i])
+			}
+			if at := r.At(ts[i]); got[i] != at {
+				t.Fatalf("d=%g i=%d: retuned block %.17g != At %.17g", d, i, got[i], at)
+			}
+		}
+	}
+}
+
+// TestAtBlockNewInstantsRebuild: switching instant blocks (value-keyed)
+// must transparently rebuild; switching back must still be correct.
+func TestAtBlockNewInstantsRebuild(t *testing.T) {
+	r, ts := invarianceFixture(t)
+	a := make([]float64, len(ts))
+	r.AtBlock(ts, a)
+	lo, hi := r.ValidRange()
+	other := make([]float64, 31)
+	for i := range other {
+		other[i] = lo + (hi-lo)*float64(i)/float64(len(other)-1)
+	}
+	b := make([]float64, len(other))
+	r.AtBlock(other, b)
+	for i, tv := range other {
+		if at := r.At(tv); b[i] != at {
+			t.Fatalf("other block i=%d: %.17g != At %.17g", i, b[i], at)
+		}
+	}
+	a2 := make([]float64, len(ts))
+	r.AtBlock(ts, a2)
+	for i := range a2 {
+		if a2[i] != a[i] {
+			t.Fatalf("re-prepared block differs at %d: %.17g vs %.17g", i, a2[i], a[i])
+		}
+	}
+}
+
+// FuzzAtBlockVsAt differentially fuzzes the blocked batch path against the
+// per-instant At path on fuzzed delays, instants and capture contents. The
+// contract is bit-identity, so the comparison is exact equality.
+func FuzzAtBlockVsAt(f *testing.F) {
+	f.Add(0.36, 0.5, int64(1))
+	f.Add(0.9, 0.0, int64(2))   // instant on a sample point
+	f.Add(0.36, -1.5, int64(3)) // instant outside the valid range
+	f.Add(0.123, 0.77, int64(4))
+	f.Add(0.5, 0.25, int64(5))
+	f.Fuzz(func(t *testing.T, dFrac, tFrac float64, seed int64) {
+		if math.IsNaN(dFrac) || math.IsInf(dFrac, 0) || math.IsNaN(tFrac) || math.IsInf(tFrac, 0) {
+			t.Skip()
+		}
+		band := Band{FLow: 955e6, B: 90e6}
+		maxD := 2 / band.B
+		d := math.Remainder(dFrac, 2) * maxD / 2
+		rng := rand.New(rand.NewSource(seed))
+		n := 72
+		ch0 := make([]float64, n)
+		ch1 := make([]float64, n)
+		for i := range ch0 {
+			ch0[i] = 2*rng.Float64() - 1
+			ch1[i] = 2*rng.Float64() - 1
+		}
+		r, err := NewReconstructor(band, d, 0, ch0, ch1, Options{HalfTaps: 6})
+		if err != nil {
+			t.Skip() // infeasible delay
+		}
+		span := float64(n) * r.tStep
+		// Fold tFrac into [-0.5, 1.5] spans: inside, edges, and outside.
+		frac := math.Remainder(tFrac, 2)
+		ts := make([]float64, 17)
+		for i := range ts {
+			ts[i] = (frac + float64(i-8)/16) * span
+		}
+		dst := make([]float64, len(ts))
+		r.AtBlock(ts, dst)
+		for i, tv := range ts {
+			at := r.At(tv)
+			if dst[i] != at {
+				t.Fatalf("d=%g t=%g: AtBlock %.17g != At %.17g", d, tv, dst[i], at)
+			}
+		}
+	})
+}

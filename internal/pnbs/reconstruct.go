@@ -3,6 +3,7 @@ package pnbs
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/par"
 )
@@ -54,6 +55,19 @@ type Reconstructor struct {
 	// multiplies instead of Sincos calls (the LMS hot path). The rotation
 	// angles depend only on the band, so Retune leaves them untouched.
 	rotA0, rotB0, rotA1, rotB1 complex128
+	// cjA0..cjB1 are the conjugate rotations exp(+i a T) used by the
+	// second (delayed-channel) kernel term, whose phase advances the other
+	// way across taps. They depend only on the band, like rot*.
+	cjA0, cjB0, cjA1, cjB1 complex128
+	// block caches the per-instant tables of the batch evaluation path
+	// (AtBlock); see block.go. The tables are delay-independent, so they
+	// survive Retune; the pointer is atomic so concurrent AtBlock callers
+	// on a shared reconstructor stay race-free.
+	block atomic.Pointer[blockPrep]
+	// grid caches the fused per-phase coefficient tables of the uniform-
+	// grid path (AtGridInto/EnvelopeGridInto); see grid.go. These fold the
+	// delay in, so a Retune invalidates them (checked by value).
+	grid atomic.Pointer[gridPrep]
 }
 
 // NewReconstructor builds a reconstructor from the two uniform sample sets:
@@ -91,6 +105,8 @@ func NewReconstructor(band Band, dEst, t0 float64, ch0, ch1 []float64, opt Optio
 	r.rotB0 = cis(-kern.b0 * tt)
 	r.rotA1 = cis(-kern.a1 * tt)
 	r.rotB1 = cis(-kern.b1 * tt)
+	conj := func(c complex128) complex128 { return complex(real(c), -imag(c)) }
+	r.cjA0, r.cjB0, r.cjA1, r.cjB1 = conj(r.rotA0), conj(r.rotB0), conj(r.rotA1), conj(r.rotB1)
 	return r, nil
 }
 
@@ -174,8 +190,7 @@ func (r *Reconstructor) At(t float64) float64 {
 	yB0 := cis(k.b0*dt1 - k.phi0)
 	yA1 := cis(k.a1*dt1 - k.phi1)
 	yB1 := cis(k.b1*dt1 - k.phi1)
-	conj := func(c complex128) complex128 { return complex(real(c), -imag(c)) }
-	cA0, cB0, cA1, cB1 := conj(r.rotA0), conj(r.rotB0), conj(r.rotA1), conj(r.rotB1)
+	cA0, cB0, cA1, cB1 := r.cjA0, r.cjB0, r.cjA1, r.cjB1
 
 	acc := 0.0
 	for n := nLo; n <= nHi; n++ {
@@ -246,10 +261,17 @@ func (r *Reconstructor) atReference(t float64) float64 {
 // At(ts[i]) regardless of the pool size.
 func (r *Reconstructor) AtTimes(ts []float64) []float64 {
 	out := make([]float64, len(ts))
+	r.AtTimesInto(ts, out)
+	return out
+}
+
+// AtTimesInto is AtTimes writing into a caller-provided buffer (len(out)
+// must be >= len(ts)), so repeated evaluations over the same grid — the
+// BIST measure stage runs three per unit — stay allocation-free.
+func (r *Reconstructor) AtTimesInto(ts []float64, out []float64) {
 	par.For(len(ts), func(i int) {
 		out[i] = r.At(ts[i])
 	})
-	return out
 }
 
 // Envelope returns the complex envelope of the reconstruction around fc
@@ -258,11 +280,17 @@ func (r *Reconstructor) AtTimes(ts []float64) []float64 {
 // subsequent PSD windowing or filtering).
 func (r *Reconstructor) Envelope(fc float64, ts []float64) []complex128 {
 	out := make([]complex128, len(ts))
+	r.EnvelopeInto(fc, ts, out)
+	return out
+}
+
+// EnvelopeInto is Envelope writing into a caller-provided buffer (len(out)
+// must be >= len(ts)).
+func (r *Reconstructor) EnvelopeInto(fc float64, ts []float64, out []complex128) {
 	par.For(len(ts), func(i int) {
 		t := ts[i]
 		v := r.At(t)
 		s, c := math.Sincos(2 * math.Pi * fc * t)
 		out[i] = complex(2*v*c, -2*v*s)
 	})
-	return out
 }

@@ -60,7 +60,12 @@ func newWindowLUT(beta float64) *windowLUT {
 }
 
 // at interpolates the taper at y = x^2, 0 <= y < 1, by the Catmull-Rom
-// cubic through the four bracketing samples.
+// cubic through the four bracketing samples. This is the hottest leaf of
+// the LMS loop (one call per tap per instant per candidate delay), so the
+// four neighbours are fetched through a single length-4 sub-slice: one
+// bounds check instead of four, with the interpolation arithmetic itself
+// untouched (its exact operation sequence is pinned by the bit-identity
+// contract of At/AtBlock).
 func (l *windowLUT) at(y float64) float64 {
 	p := y * l.inv
 	i := int(p)
@@ -68,10 +73,8 @@ func (l *windowLUT) at(y float64) float64 {
 		i = lutSize - 1
 	}
 	fr := p - float64(i)
-	v0 := l.vals[i]
-	v1 := l.vals[i+1]
-	v2 := l.vals[i+2]
-	v3 := l.vals[i+3]
+	v := l.vals[i : i+4 : i+4]
+	v0, v1, v2, v3 := v[0], v[1], v[2], v[3]
 	return v1 + 0.5*fr*(v2-v0+fr*(2*v0-5*v1+4*v2-v3+fr*(3*(v1-v2)+v3-v0)))
 }
 

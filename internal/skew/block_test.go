@@ -1,0 +1,60 @@
+package skew
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestCostBlockedBitIdenticalAcrossWorkers pins the acceptance contract of
+// the blocked dispatch: Cost at workers 1, 2 and 8 must equal the
+// per-instant serial oracle (fresh reconstructors, one At call per instant,
+// index-order fold) bit for bit. AtBlock is bit-identical to At and the
+// per-instant values are pure functions of (instant, capture, dHat), so the
+// contiguous range split cannot change a single bit of the fold.
+func TestCostBlockedBitIdenticalAcrossWorkers(t *testing.T) {
+	ce := paperEvaluator(t, 180e-12)
+	dHats := []float64{50e-12, 120e-12, 180e-12, 240e-12, 400e-12}
+	for _, dHat := range dHats {
+		ref, err := ce.costSerial(dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 8} {
+			prev := par.SetWorkers(w)
+			got, err := ce.Cost(dHat)
+			par.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Fatalf("workers=%d dHat=%g: blocked Cost %.17g != per-instant serial oracle %.17g",
+					w, dHat, got, ref)
+			}
+		}
+	}
+}
+
+// TestCostBlockedPrepSurvivesRetune drives one pooled worker through many
+// candidate delays: the first evaluation builds the per-block tables, every
+// later one must reuse them through Retune (the tables are delay
+// independent). Bit-equality with the rebuild-everything per-instant oracle
+// at each delay proves the reuse is exact, not approximate.
+func TestCostBlockedPrepSurvivesRetune(t *testing.T) {
+	ce := paperEvaluator(t, 180e-12)
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	for _, dHat := range []float64{100e-12, 180e-12, 260e-12, 180e-12, 100e-12} {
+		got, err := ce.Cost(dHat) // pooled: same worker, Retune between calls
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := ce.costSerial(dHat) // fresh build, per-instant At
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("dHat=%g: retuned worker %.17g != fresh per-instant build %.17g", dHat, got, ref)
+		}
+	}
+}

@@ -97,10 +97,13 @@ type CostEvaluator struct {
 	workers sync.Pool // *costWorker
 }
 
-// costWorker is one reusable evaluation context.
+// costWorker is one reusable evaluation context. vB and vB1 receive the two
+// blocked reconstructions; keeping them separate (rather than a fused
+// squared-difference scratch) lets the par-fanned ranges write disjoint
+// sub-slices and the fold stay a serial index-order pass.
 type costWorker struct {
 	rB, rB1 *pnbs.Reconstructor
-	scratch []float64
+	vB, vB1 []float64
 }
 
 // worker returns a pooled evaluation context retuned to dHat, building a
@@ -129,7 +132,12 @@ func (c *CostEvaluator) worker(dHat float64) (*costWorker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &costWorker{rB: rB, rB1: rB1, scratch: make([]float64, len(c.times))}, nil
+	return &costWorker{
+		rB:  rB,
+		rB1: rB1,
+		vB:  make([]float64, len(c.times)),
+		vB1: make([]float64, len(c.times)),
+	}, nil
 }
 
 // NewCostEvaluator validates the two captures and the evaluation instants.
@@ -154,11 +162,15 @@ func (c *CostEvaluator) Times() []float64 { return c.times }
 // M returns the upper limit of the searchable delay interval.
 func (c *CostEvaluator) M() float64 { return MUpper(c.setB.Band, c.setB1.Band) }
 
-// Cost evaluates the Eq. (7) objective at the candidate delay dHat. The
-// instants fan out over the par pool; the per-instant squared differences
-// are folded in index order afterwards, so the result is bit-identical to
-// the serial evaluation at any worker count. Cost is safe for concurrent
-// use.
+// Cost evaluates the Eq. (7) objective at the candidate delay dHat through
+// the blocked batch kernel: both reconstructors prepare the instant block
+// once (the delay-independent tables survive Retune, so a pooled worker
+// prepares only on its first evaluation), contiguous ranges of AtBlock
+// evaluations fan out over the par pool, and the squared differences are
+// folded serially in index order. AtBlock values are bit-identical to At
+// and independent of the range split, so the result is bit-identical to
+// the per-instant serial evaluation (costSerial) at any worker count.
+// Cost is safe for concurrent use.
 func (c *CostEvaluator) Cost(dHat float64) (float64, error) {
 	mCostEvals.Inc()
 	w, err := c.worker(dHat)
@@ -168,24 +180,29 @@ func (c *CostEvaluator) Cost(dHat float64) (float64, error) {
 	}
 	defer c.workers.Put(w)
 	n := len(c.times)
-	if cap(w.scratch) < n {
-		w.scratch = make([]float64, n)
+	if cap(w.vB) < n {
+		w.vB = make([]float64, n)
+		w.vB1 = make([]float64, n)
 	}
-	sq := w.scratch[:n]
-	par.For(n, func(i int) {
-		d := w.rB.At(c.times[i]) - w.rB1.At(c.times[i])
-		sq[i] = d * d
+	vB, vB1 := w.vB[:n], w.vB1[:n]
+	w.rB.PrepareBlock(c.times)
+	w.rB1.PrepareBlock(c.times)
+	par.ForRanges(n, func(lo, hi int) {
+		w.rB.AtBlockRange(c.times, lo, hi, vB[lo:hi])
+		w.rB1.AtBlockRange(c.times, lo, hi, vB1[lo:hi])
 	})
 	acc := 0.0
-	for _, v := range sq {
-		acc += v
+	for i, v := range vB {
+		d := v - vB1[i]
+		acc += d * d
 	}
 	return acc / float64(n), nil
 }
 
-// costSerial is the single-threaded, rebuild-everything reference
-// implementation of Cost (the seed code path), kept as the oracle for the
-// differential tests of the pooled + parallel path.
+// costSerial is the single-threaded, rebuild-everything, per-instant At
+// reference implementation of Cost (the seed code path), kept as the
+// oracle for the differential tests: the blocked parallel path must match
+// it bit for bit at any worker count.
 func (c *CostEvaluator) costSerial(dHat float64) (float64, error) {
 	rB, err := pnbs.NewReconstructor(c.setB.Band, dHat, c.setB.T0, c.setB.Ch0, c.setB.Ch1, c.opt)
 	if err != nil {

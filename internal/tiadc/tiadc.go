@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/adc"
+	"repro/internal/par"
 	"repro/internal/sig"
 )
 
@@ -53,6 +54,12 @@ type Config struct {
 	ClockJitterRMS float64
 	// Seed drives the shared clock jitter stream.
 	Seed int64
+	// StreamChunk is the acquisition pipeline chunk size in samples
+	// (0 = 256): the analog front end (stage 1, which owns the jitter and
+	// noise random streams and therefore runs serially) overlaps with
+	// quantization and int16 packing (stage 2) on chunk boundaries.
+	// Captured values are bit-identical at every chunk size.
+	StreamChunk int
 }
 
 // TIADC is the assembled sampler.
@@ -73,6 +80,9 @@ func New(cfg Config) (*TIADC, error) {
 	}
 	if cfg.ClockJitterRMS < 0 {
 		return nil, fmt.Errorf("tiadc: negative clock jitter")
+	}
+	if cfg.StreamChunk < 0 {
+		return nil, fmt.Errorf("tiadc: negative stream chunk %d", cfg.StreamChunk)
 	}
 	a0, err := adc.New(cfg.Ch0)
 	if err != nil {
@@ -99,6 +109,13 @@ type Capture struct {
 	T0 float64
 	// Ch0 and Ch1 hold the captured (quantized) sample values.
 	Ch0, Ch1 []float64
+	// Raw0 and Raw1 hold the packed fixed-point codes (twice the mid-rise
+	// code, an odd integer — see adc.EncodeInt16) when the corresponding
+	// converter is Int16Capable, mirroring the hardware's 10-bit capture
+	// memory; Ch0/Ch1 are then exactly the decoded codes. A nil slice means
+	// that channel needed the float path (ideal, >15-bit, or static-NL
+	// converters).
+	Raw0, Raw1 []int16
 }
 
 // N returns the per-channel sample count.
@@ -138,14 +155,53 @@ func (ti *TIADC) Capture(x sig.Signal, period, nominalD, t0 float64, n int) (*Ca
 	}
 	t0s := c0.Times(0, n)
 	t1s := c1.Times(0, n)
+	ch0, raw0 := captureChannel(ti.a0, x, t0s, ti.cfg.StreamChunk)
+	ch1, raw1 := captureChannel(ti.a1, x, t1s, ti.cfg.StreamChunk)
 	return &Capture{
 		T:        period,
 		NominalD: nominalD,
 		ActualD:  actualD,
 		T0:       t0,
-		Ch0:      ti.a0.Sample(x, t0s),
-		Ch1:      ti.a1.Sample(x, t1s),
+		Ch0:      ch0,
+		Ch1:      ch1,
+		Raw0:     raw0,
+		Raw1:     raw1,
 	}, nil
+}
+
+// captureChannel drives one converter through the bounded two-stage
+// acquisition pipeline: the producer runs the analog front end serially in
+// index order (it owns the converter's jitter and noise random streams),
+// and the consumer digitizes each completed chunk — through the packed
+// int16 capture memory when the converter supports it — while the producer
+// holds the next one. Both stages observe the exact serial order, so the
+// result is bit-identical to sampling then quantizing the whole capture at
+// once, at every chunk size and pipeline depth (the streaming tests and the
+// unchanged goldens pin this).
+func captureChannel(a *adc.ADC, x sig.Signal, times []float64, chunk int) (vals []float64, raw []int16) {
+	n := len(times)
+	vals = make([]float64, n)
+	if a.Int16Capable() {
+		raw = make([]int16, n)
+	}
+	par.Stream(n, chunk, 0,
+		func(lo, hi int) {
+			a.Analog(x, times[lo:hi], vals[lo:hi])
+		},
+		func(lo, hi int) {
+			if raw != nil {
+				for i := lo; i < hi; i++ {
+					c := a.EncodeInt16(vals[i])
+					raw[i] = c
+					vals[i] = a.DecodeInt16(c)
+				}
+				return
+			}
+			for i := lo; i < hi; i++ {
+				vals[i] = a.Quantize(vals[i])
+			}
+		})
+	return vals, raw
 }
 
 // Channel returns the underlying converter models (0 or 1) for inspection.

@@ -157,3 +157,128 @@ func TestChannelAccessor(t *testing.T) {
 		t.Error("channel 2 must fail")
 	}
 }
+
+// streamTestConfig is a representative impaired two-channel setup for the
+// streaming-capture determinism tests.
+func streamTestConfig(chunk int) Config {
+	return Config{
+		Ch0: adc.Config{Bits: 10, FullScale: 1.5, JitterRMS: 3e-12,
+			NoiseRMS: 1e-3, Seed: 11},
+		Ch1: adc.Config{Bits: 10, FullScale: 1.5, Gain: 1.01, Offset: 2e-3,
+			JitterRMS: 3e-12, NoiseRMS: 1e-3, Seed: 22},
+		DCDE:           DCDE{Min: 0, Max: 1e-9, Bias: 0.4e-12},
+		ClockJitterRMS: 3e-12,
+		Seed:           7,
+		StreamChunk:    chunk,
+	}
+}
+
+func TestCaptureStreamChunkInvariance(t *testing.T) {
+	tone := &sig.Tone{Amp: 1, Freq: 13e6}
+	var ref *Capture
+	for _, chunk := range []int{0, 1, 7, 64, 5000} {
+		ti, err := New(streamTestConfig(chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ti.Capture(tone, 1e-8, 180e-12, 1e-7, 900)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Raw0 == nil || c.Raw1 == nil {
+			t.Fatalf("chunk=%d: 10-bit capture must fill the int16 buffers", chunk)
+		}
+		if ref == nil {
+			ref = c
+			continue
+		}
+		for i := range c.Ch0 {
+			if c.Ch0[i] != ref.Ch0[i] || c.Ch1[i] != ref.Ch1[i] {
+				t.Fatalf("chunk=%d sample %d: floats differ from chunk=0 capture", chunk, i)
+			}
+			if c.Raw0[i] != ref.Raw0[i] || c.Raw1[i] != ref.Raw1[i] {
+				t.Fatalf("chunk=%d sample %d: raw codes differ from chunk=0 capture", chunk, i)
+			}
+		}
+	}
+}
+
+func TestCaptureRawDecodesToFloats(t *testing.T) {
+	ti, err := New(streamTestConfig(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tone := &sig.Tone{Amp: 1, Freq: 13e6}
+	c, err := ti.Capture(tone, 1e-8, 180e-12, 1e-7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, _ := ti.Channel(0)
+	a1, _ := ti.Channel(1)
+	for i := range c.Ch0 {
+		if got := a0.DecodeInt16(c.Raw0[i]); got != c.Ch0[i] {
+			t.Fatalf("ch0 sample %d: decoded %g != stored %g", i, got, c.Ch0[i])
+		}
+		if got := a1.DecodeInt16(c.Raw1[i]); got != c.Ch1[i] {
+			t.Fatalf("ch1 sample %d: decoded %g != stored %g", i, got, c.Ch1[i])
+		}
+	}
+}
+
+func TestCaptureStreamMatchesDirectSampleOracle(t *testing.T) {
+	// The streamed capture must be bit-identical to the serial reference:
+	// clock times drawn up front, then each channel sampled and quantized in
+	// one pass (the seed implementation this pipeline replaced).
+	cfg := streamTestConfig(17)
+	ti, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tone := &sig.Tone{Amp: 1, Freq: 13e6}
+	period, d, t0 := 1e-8, 180e-12, 1e-7
+	n := 400
+	c, err := ti.Capture(tone, period, d, t0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference path with fresh converters and clocks at the same seeds.
+	a0, _ := adc.New(cfg.Ch0)
+	a1, _ := adc.New(cfg.Ch1)
+	seedBase := cfg.Seed + 1*7919 // first acquisition on a fresh TIADC
+	c0, _ := adc.NewClock(period, t0, cfg.ClockJitterRMS, seedBase)
+	c1, _ := adc.NewClock(period, t0+c.ActualD, cfg.ClockJitterRMS, seedBase+1)
+	want0 := a0.Sample(tone, c0.Times(0, n))
+	want1 := a1.Sample(tone, c1.Times(0, n))
+	for i := range want0 {
+		if c.Ch0[i] != want0[i] || c.Ch1[i] != want1[i] {
+			t.Fatalf("sample %d: streamed capture differs from serial oracle", i)
+		}
+	}
+}
+
+func TestCaptureFloatFallbackWithoutQuantizer(t *testing.T) {
+	// Ideal (unquantized) channels cannot use the int16 memory: Raw stays
+	// nil and the float path must still be chunk-invariant.
+	mk := func(chunk int) *Capture {
+		ti, err := New(Config{DCDE: DCDE{Min: 0, Max: 1e-9},
+			ClockJitterRMS: 3e-12, Seed: 5, StreamChunk: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ti.Capture(&sig.Tone{Amp: 1, Freq: 13e6}, 1e-8, 180e-12, 1e-7, 333)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := mk(3)
+	b := mk(256)
+	if a.Raw0 != nil || a.Raw1 != nil {
+		t.Fatal("ideal channels must not allocate raw buffers")
+	}
+	for i := range a.Ch0 {
+		if a.Ch0[i] != b.Ch0[i] || a.Ch1[i] != b.Ch1[i] {
+			t.Fatalf("sample %d: float fallback not chunk-invariant", i)
+		}
+	}
+}
