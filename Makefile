@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-hot bench-block bench-fft obs-bench trace-smoke cover fuzz-smoke golden-update
+.PHONY: all build test vet race check bench bench-hot bench-block bench-fft obs-bench trace-smoke campaign-smoke campaign-smoke-update cover fuzz-smoke golden-update
 
 # Committed coverage floor (percent of statements): `make cover` fails when
 # total coverage drops below this.
@@ -125,6 +125,24 @@ trace-smoke:
 	@rm -f trace_smoke.trace.json trace_smoke.norm.json
 	@echo "trace smoke OK"
 
+# campaign-smoke drives a tiny stimulus-coverage campaign end to end
+# through the real CLI (the flags-only `-campaign` shorthand) and compares
+# the detection matrix byte-for-byte against the committed golden; the
+# campaign test suite then re-checks the determinism contract in-process
+# (worker-count and row-order invariance, known-escape pinning).
+campaign-smoke:
+	$(GO) run ./cmd/bistlab -campaign cmd/bistlab/testdata/campaign_smoke_grid.json -json \
+		| cmp - cmd/bistlab/testdata/golden/campaign_smoke.json
+	$(GO) test ./internal/campaign ./cmd/bistlab -run 'Campaign|Coverage'
+	@echo "campaign smoke OK"
+
+# campaign-smoke-update regenerates the CLI campaign golden after an
+# intended matrix change. Inspect the diff before committing.
+campaign-smoke-update:
+	$(GO) run ./cmd/bistlab -campaign cmd/bistlab/testdata/campaign_smoke_grid.json -json \
+		> cmd/bistlab/testdata/golden/campaign_smoke.json
+	@echo "campaign smoke golden regenerated"
+
 # cover measures total statement coverage and fails below COVER_FLOOR.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -141,6 +159,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFIRLinearity -fuzztime=10s ./internal/dsp
 	$(GO) test -run='^$$' -fuzz=FuzzReconstructRetune -fuzztime=10s ./internal/pnbs
 	$(GO) test -run='^$$' -fuzz=FuzzAtBlockVsAt -fuzztime=10s ./internal/pnbs
+	$(GO) test -run='^$$' -fuzz=FuzzStimulusSpecRoundTrip -fuzztime=10s ./internal/campaign
 
 # golden-update regenerates the committed golden vectors after an intended
 # numeric change. Inspect the diff before committing.

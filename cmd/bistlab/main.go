@@ -23,6 +23,12 @@
 //	loop    loopback fault-masking vs direct PNBS observation
 //	resp    reconstruction-filter frequency response vs length
 //	all     run everything above in sequence
+//
+// Coverage campaigns (not part of "all"):
+//
+//	campaign  stimulus x fault detection matrix; -campaign selects the
+//	          grid JSON file (default: the built-in reference grid).
+//	          `bistlab -campaign grid.json` is accepted as a shorthand.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"runtime/pprof"
 	rtrace "runtime/trace"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obs/provenance"
@@ -60,6 +67,7 @@ func run(w io.Writer, args []string) error {
 	scale := fs.Float64("scale", 1.0, "capture/PSD size scale in (0, 1]: smaller is faster, noisier")
 	nPts := fs.Int("points", 0, "sweep point count (experiment-specific default when 0)")
 	jsonOut := fs.Bool("json", false, "emit the structured result as JSON instead of text")
+	campaignPath := fs.String("campaign", "", "coverage-campaign grid JSON file (\"default\" or empty = built-in reference grid); implies the campaign experiment when no name is given")
 	metrics := fs.Bool("metrics", false, "collect runtime metrics and append a per-run metrics block to the report")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/vars on this address for the run's duration (implies -metrics)")
 	pprofFlag := fs.Bool("pprof", false, "also serve /debug/pprof on -metrics-addr (net/http/pprof)")
@@ -77,9 +85,21 @@ func run(w io.Writer, args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing experiment name")
 	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
+	// `bistlab -campaign grid.json` (flags only, no positional experiment)
+	// is the documented campaign shorthand.
+	name, rest := args[0], args[1:]
+	if len(name) > 0 && name[0] == '-' {
+		name, rest = "", args
+	}
+	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if name == "" {
+		if *campaignPath == "" {
+			fs.Usage()
+			return fmt.Errorf("missing experiment name")
+		}
+		name = "campaign"
 	}
 	if *pprofFlag && *metricsAddr == "" {
 		return fmt.Errorf("-pprof needs -metrics-addr to serve on")
@@ -159,14 +179,14 @@ func run(w io.Writer, args []string) error {
 		if name == "all" {
 			for _, n := range []string{"fig3a", "fig3b", "fig5", "fig6", "table1", "eq4", "dsweep", "mask", "flex", "ablate", "noise", "yield", "avg", "loop", "resp"} {
 				fmt.Fprintf(w, "==== %s ====\n", n)
-				if err := runOne(w, n, *scale, *nPts, *jsonOut); err != nil {
+				if err := runOne(w, n, *scale, *nPts, *jsonOut, *campaignPath); err != nil {
 					return fmt.Errorf("%s: %w", n, err)
 				}
 				fmt.Fprintln(w)
 			}
 			return nil
 		}
-		return runOne(w, name, *scale, *nPts, *jsonOut)
+		return runOne(w, name, *scale, *nPts, *jsonOut, *campaignPath)
 	}()
 	if tracing {
 		rec := trace.StopRecording()
@@ -277,7 +297,7 @@ func emit(w io.Writer, v renderer, jsonOut bool) error {
 	return err
 }
 
-func runOne(w io.Writer, name string, scale float64, nPts int, jsonOut bool) error {
+func runOne(w io.Writer, name string, scale float64, nPts int, jsonOut bool, campaignPath string) error {
 	obs.C("bistlab.runs." + name).Inc()
 	sp := hExperiment.Start()
 	defer sp.End()
@@ -378,6 +398,27 @@ func runOne(w io.Writer, name string, scale float64, nPts int, jsonOut bool) err
 		return emit(w, r, jsonOut)
 	case "resp":
 		r, err := experiments.RunFilterResp()
+		if err != nil {
+			return err
+		}
+		return emit(w, r, jsonOut)
+	case "campaign":
+		var grid *campaign.Grid
+		if campaignPath != "" && campaignPath != "default" {
+			data, err := os.ReadFile(campaignPath)
+			if err != nil {
+				return err
+			}
+			g, err := campaign.ParseGrid(data)
+			if err != nil {
+				return err
+			}
+			grid = &g
+		}
+		// -scale < 1 overrides the grid's own scale, mirroring the other
+		// experiments (and letting `make campaign-smoke` shrink a committed
+		// grid without editing it).
+		r, err := experiments.RunCoverage(grid, scale, 0)
 		if err != nil {
 			return err
 		}

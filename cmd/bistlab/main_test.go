@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,7 +13,7 @@ import (
 func TestRunOneCheapExperiments(t *testing.T) {
 	for _, name := range []string{"fig3a", "fig3b", "eq4", "dsweep", "noise"} {
 		var buf bytes.Buffer
-		if err := runOne(&buf, name, 1, 0, false); err != nil {
+		if err := runOne(&buf, name, 1, 0, false, ""); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -21,7 +23,7 @@ func TestRunOneCheapExperiments(t *testing.T) {
 }
 
 func TestRunOneUnknown(t *testing.T) {
-	if err := runOne(io.Discard, "nope", 1, 0, true); err == nil {
+	if err := runOne(io.Discard, "nope", 1, 0, true, ""); err == nil {
 		t.Error("unknown experiment must fail")
 	}
 }
@@ -47,10 +49,10 @@ func TestRunArgHandling(t *testing.T) {
 func TestJSONByteDeterminism(t *testing.T) {
 	for _, name := range []string{"fig3a", "fig3b", "eq4", "dsweep", "noise"} {
 		var a, b bytes.Buffer
-		if err := runOne(&a, name, 1, 0, true); err != nil {
+		if err := runOne(&a, name, 1, 0, true, ""); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if err := runOne(&b, name, 1, 0, true); err != nil {
+		if err := runOne(&b, name, 1, 0, true, ""); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -64,7 +66,7 @@ func TestJSONByteDeterminism(t *testing.T) {
 // sentinels instead.
 func TestJSONSurvivesInf(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runOne(&buf, "fig3a", 1, 0, true); err != nil {
+	if err := runOne(&buf, "fig3a", 1, 0, true, ""); err != nil {
 		t.Fatalf("fig3a -json: %v", err)
 	}
 	var v any
@@ -73,5 +75,49 @@ func TestJSONSurvivesInf(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"Infinity"`) {
 		t.Error("expected an Infinity sentinel in fig3a JSON output")
+	}
+}
+
+// TestCampaignCLIGolden: `bistlab -campaign grid.json -json` (the
+// flags-only shorthand) reproduces the committed smoke golden byte for
+// byte, and the matrix carries at least one escape — the smoke grid's
+// backed-off 16QAM stimulus shipping the compressed PA. Regenerate the
+// golden with `make campaign-smoke-update` after an intended change.
+func TestCampaignCLIGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-campaign", filepath.Join("testdata", "campaign_smoke_grid.json"), "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "campaign_smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("campaign -json output differs from testdata/golden/campaign_smoke.json (regenerate with make campaign-smoke-update if intended)")
+	}
+	var m struct {
+		Escapes []struct{ Stimulus, Fault string }
+	}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Escapes) == 0 {
+		t.Error("smoke matrix has no escapes — the coverage measurement lost its teeth")
+	}
+}
+
+// TestCampaignCLIPositional: the positional form and the default grid path
+// both work (tiny -scale keeps it fast; scale floors make it identical to
+// any smaller value).
+func TestCampaignCLIPositional(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, []string{"campaign", "-campaign", filepath.Join("testdata", "campaign_smoke_grid.json"), "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, []string{"-campaign", filepath.Join("testdata", "campaign_smoke_grid.json"), "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("positional and flags-only invocations differ")
 	}
 }

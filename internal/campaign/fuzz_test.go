@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStimulusSpecRoundTrip: for any input that parses, the canonical form
+// is a fixed point — parse -> canonicalize -> re-parse -> re-canonicalize
+// is byte-stable — and nothing ever panics. This is the contract the
+// detection matrix's permutation invariance leans on: cell seeds hash the
+// canonical bytes, so two ways of writing the same stimulus must hash
+// identically.
+func FuzzStimulusSpecRoundTrip(f *testing.F) {
+	for _, s := range DefaultGrid().Stimuli {
+		b, err := s.MarshalCanonical()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Name":"b","Constellation":"BPSK","PRBSOrder":7,"PRBSSeed":0,"BurstLen":16,"BackoffDB":-6,"Mask":"narrowband-vhf-25k"}`))
+	f.Add([]byte(`{"Name":"q","Constellation":"64QAM","PRBSOrder":31,"PRBSSeed":4294967295,"BurstLen":65536,"BackoffDB":20,"Mask":"wideband-ofdm-5M"}`))
+	f.Add([]byte(`{"Name":"z","Constellation":"QPSK","PRBSOrder":15,"PRBSSeed":1,"BurstLen":64,"BackoffDB":1e-300,"Mask":"wideband-qpsk-15M"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return // invalid inputs must error, not panic
+		}
+		c1, err := s.MarshalCanonical()
+		if err != nil {
+			t.Fatalf("accepted spec failed to marshal: %v", err)
+		}
+		s2, err := ParseSpec(c1)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, c1)
+		}
+		c2, err := s2.MarshalCanonical()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical form not a fixed point:\n%s\n%s", c1, c2)
+		}
+	})
+}

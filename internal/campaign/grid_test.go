@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+func TestDefaultGridValid(t *testing.T) {
+	if err := DefaultGrid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	cases := []struct {
+		label  string
+		mutate func(*Grid)
+		bad    bool
+	}{
+		{"default", func(g *Grid) {}, false},
+		{"no stimuli", func(g *Grid) { g.Stimuli = nil }, true},
+		{"duplicate stimulus", func(g *Grid) { g.Stimuli = append(g.Stimuli, g.Stimuli[0]) }, true},
+		{"unknown fault", func(g *Grid) { g.Faults = []string{"rust"} }, true},
+		{"known faults", func(g *Grid) { g.Faults = []string{"pa-memory", "dcde-stuck"} }, false},
+		{"units high", func(g *Grid) { g.Units = 5000 }, true},
+		{"scale high", func(g *Grid) { g.Scale = 1.5 }, true},
+		{"threshold high", func(g *Grid) { g.YieldThreshold = 1.1 }, true},
+		{"invalid stimulus", func(g *Grid) { g.Stimuli[0].BurstLen = 1 }, true},
+	}
+	for _, c := range cases {
+		g := DefaultGrid()
+		c.mutate(&g)
+		err := g.Validate()
+		if c.bad && err == nil {
+			t.Errorf("%s: expected validation error", c.label)
+		}
+		if !c.bad && err != nil {
+			t.Errorf("%s: unexpected error: %v", c.label, err)
+		}
+	}
+}
+
+func TestParseGridDefaultsAndErrors(t *testing.T) {
+	in := `{"Stimuli":[{"Name":"x","Constellation":"QPSK","PRBSOrder":7,"PRBSSeed":1,"BurstLen":32,"BackoffDB":0,"Mask":"wideband-qpsk-15M"}]}`
+	g, err := ParseGrid([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Units != 1 || g.Scale != 1 || g.YieldThreshold != 0.5 {
+		t.Errorf("defaults not applied: %+v", g)
+	}
+	for label, bad := range map[string]string{
+		"unknown field": `{"Stimuli":[],"Workers":8}`,
+		"trailing":      `{"Stimuli":[]} {}`,
+		"empty":         `{"Stimuli":[]}`,
+	} {
+		if _, err := ParseGrid([]byte(bad)); err == nil {
+			t.Errorf("%s: expected parse error", label)
+		}
+	}
+}
+
+// TestDefaultGridFileInSync pins testdata/default_grid.json — the file the
+// README points `bistlab -campaign` users at — to DefaultGrid().
+// Regenerate with -update after changing the default grid.
+func TestDefaultGridFileInSync(t *testing.T) {
+	testkit.Golden(t, filepath.Join("testdata", "default_grid.json"), DefaultGrid(), testkit.DefaultOptions())
+}
+
+// TestDefaultGridFileParses: the committed file must round-trip through
+// ParseGrid back to the in-code grid, byte for byte.
+func TestDefaultGridFileParses(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "default_grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseGrid(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, DefaultGrid()) {
+		t.Errorf("committed grid differs from DefaultGrid():\n%+v\n%+v", g, DefaultGrid())
+	}
+	b1, err := g.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := DefaultGrid().MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("canonical forms differ")
+	}
+}

@@ -42,6 +42,13 @@ type Config struct {
 	NumSymbols int
 	// Seed drives symbol generation.
 	Seed int64
+	// Symbols, when non-nil, replaces the seed-drawn random symbol stream
+	// with an explicit one (e.g. a PRBS-driven campaign stimulus mapped
+	// onto the constellation). The stream is cyclic like the generated
+	// one, and the EVM sub-test stays available — the reference symbols
+	// are known either way. NumSymbols and Seed are ignored for waveform
+	// generation when set.
+	Symbols []complex128
 	// BasebandPower is the mean |envelope|^2 driven into the chain
 	// (0 = 0.5).
 	BasebandPower float64
@@ -239,22 +246,33 @@ func New(cfg Config) (*BIST, error) {
 		if err != nil {
 			return nil, err
 		}
-		syms := cst.RandomSymbols(c.NumSymbols, c.Seed)
+		syms := c.Symbols
+		if syms == nil {
+			syms = cst.RandomSymbols(c.NumSymbols, c.Seed)
+		}
 		bb, err = modem.NewShapedEnvelope(syms, pulse, true)
 		if err != nil {
 			return nil, err
 		}
 		// The normalisation gain is a pure function of the waveform
 		// generation parameters (the symbols are drawn deterministically
-		// from the seed), and SetAvgPower's power estimate samples the
-		// envelope thousands of times. A fault-matrix experiment builds
-		// tens of BISTs with the same test waveform, so the computed gain
-		// is cached by those parameters — a hit reproduces the exact same
-		// Gain value the full estimate would.
+		// from the seed, or supplied explicitly and fingerprinted), and
+		// SetAvgPower's power estimate samples the envelope thousands of
+		// times. A fault-matrix experiment builds tens of BISTs with the
+		// same test waveform, so the computed gain is cached by those
+		// parameters — a hit reproduces the exact same Gain value the full
+		// estimate would.
 		key := gainKey{
-			constellation: c.Constellation, numSymbols: c.NumSymbols, seed: c.Seed,
+			constellation: c.Constellation, numSymbols: len(syms),
 			symbolRate: c.SymbolRate, rollOff: c.RollOff, pulseSpan: c.PulseSpan,
 			power: c.BasebandPower,
+		}
+		if c.Symbols != nil {
+			// An explicit stream is independent of Seed; key it by content
+			// so every campaign cell sharing a stimulus shares the gain.
+			key.symHash = hashSymbols(syms)
+		} else {
+			key.seed = c.Seed
 		}
 		if g, ok := gainCache.Load(key); ok {
 			bb.Gain = g.(float64)
@@ -440,6 +458,7 @@ type gainKey struct {
 	constellation string
 	numSymbols    int
 	seed          int64
+	symHash       uint64
 	symbolRate    float64
 	rollOff       float64
 	pulseSpan     int
@@ -447,6 +466,28 @@ type gainKey struct {
 }
 
 var gainCache sync.Map // gainKey -> float64
+
+// hashSymbols fingerprints an explicit symbol stream (FNV-1a over the IEEE
+// bit patterns) for the normalisation-gain cache key.
+func hashSymbols(syms []complex128) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, s := range syms {
+		mix(math.Float64bits(real(s)))
+		mix(math.Float64bits(imag(s)))
+	}
+	return h
+}
 
 // measurePSD produces the RF-referred Welch PSD from a reconstructed
 // envelope grid.

@@ -20,11 +20,30 @@ type Fault struct {
 	Apply func(c *Config)
 }
 
-// Catalog returns the built-in fault library. Faults marked ShouldFail are
-// specification violations; the remainder are benign process variations the
-// BIST must tolerate (no false alarms) — notably the DCDE bias, which is
-// exactly the unknown the LMS technique exists to absorb.
-func Catalog() []Fault {
+// BuildCatalog constructs the built-in fault library. Faults marked
+// ShouldFail are specification violations; the remainder are benign process
+// variations the BIST must tolerate (no false alarms) — notably the DCDE
+// bias, which is exactly the unknown the LMS technique exists to absorb.
+//
+// Every impairment model is constructed here, up front, so a bad parameter
+// surfaces as a returned error instead of a panic inside an Apply closure
+// deep in a campaign run; the closures only assign the prebuilt (read-only)
+// models.
+func BuildCatalog() ([]Fault, error) {
+	compressedPA, err := rf.NewRappPA(1, 0.55, 2)
+	if err != nil {
+		return nil, fmt.Errorf("core: fault catalog: pa-compression: %w", err)
+	}
+	inlProfile, err := adc.NewRandomNL(10, 1.0, 91)
+	if err != nil {
+		return nil, fmt.Errorf("core: fault catalog: adc-inl: %w", err)
+	}
+	heavyPN, err := rf.NewPhaseNoise(
+		[]float64{1e4, 1e5, 1e6, 1e7},
+		[]float64{-48, -55, -75, -100}, 256, 17)
+	if err != nil {
+		return nil, fmt.Errorf("core: fault catalog: lo-phase-noise: %w", err)
+	}
 	return []Fault{
 		{
 			Name:        "pa-compression",
@@ -32,11 +51,7 @@ func Catalog() []Fault {
 			ShouldFail:  true,
 			Apply: func(c *Config) {
 				// Saturation at ~the signal RMS: heavy clipping.
-				pa, err := rf.NewRappPA(1, 0.55, 2)
-				if err != nil {
-					panic(fmt.Sprintf("core: fault catalog: %v", err))
-				}
-				c.Tx.PA = pa
+				c.Tx.PA = compressedPA
 				c.BasebandPower = 1.0
 			},
 		},
@@ -72,11 +87,7 @@ func Catalog() []Fault {
 			Description: "receiver ADC channel 1 with gross ladder mismatch (1 LSB rms DNL random walk): instrument pre-check fails",
 			ShouldFail:  true,
 			Apply: func(c *Config) {
-				nl, err := adc.NewRandomNL(10, 1.0, 91)
-				if err != nil {
-					panic(fmt.Sprintf("core: fault catalog: %v", err))
-				}
-				c.TI.Ch1.NL = nl
+				c.TI.Ch1.NL = inlProfile
 				c.ADCCheck = true
 			},
 		},
@@ -85,13 +96,7 @@ func Catalog() []Fault {
 			Description: "degraded LO with heavy close-in phase noise: modulation quality (EVM) collapses",
 			ShouldFail:  true,
 			Apply: func(c *Config) {
-				pn, err := rf.NewPhaseNoise(
-					[]float64{1e4, 1e5, 1e6, 1e7},
-					[]float64{-48, -55, -75, -100}, 256, 17)
-				if err != nil {
-					panic(fmt.Sprintf("core: fault catalog: %v", err))
-				}
-				c.Tx.PhaseNoise = pn
+				c.Tx.PhaseNoise = heavyPN
 				c.EVMTest = true
 			},
 		},
@@ -124,12 +129,92 @@ func Catalog() []Fault {
 				c.IRRTest = true
 			},
 		},
-	}
+	}, nil
 }
 
-// FaultByName looks up a catalogue entry.
+// Catalog returns the built-in fault library, panicking on construction
+// errors. The library is built from constant parameters, so a failure here
+// is a programming error, not an input error; campaign code that wants to
+// surface the error instead calls BuildCatalog directly.
+func Catalog() []Fault {
+	fs, err := BuildCatalog()
+	if err != nil {
+		panic(fmt.Sprintf("core: fault catalog: %v", err))
+	}
+	return fs
+}
+
+// BuildExtendedCatalog returns the base library plus the campaign-grade
+// fault models: defects whose visibility depends on the stimulus driving
+// the transmitter, which is what a stimulus-coverage matrix exists to
+// measure. They live outside Catalog() so the classic single-stimulus
+// experiments (RunMaskBIST and the spectral-mask example) keep their
+// committed vectors.
+func BuildExtendedCatalog() ([]Fault, error) {
+	base, err := BuildCatalog()
+	if err != nil {
+		return nil, err
+	}
+	// AM-AM + AM-PM with memory: a two-tap memory polynomial whose delayed
+	// third-order term makes the spectral regrowth asymmetric. Third-order
+	// products scale with the drive cubed, so a backed-off stimulus can
+	// legitimately miss this fault — the canonical coverage escape.
+	memPA, err := rf.NewMemoryPolyPA([][3]complex128{
+		{1, complex(-0.32, 0.14), 0},
+		{0, complex(0.22, -0.15), 0},
+	}, 22e-9)
+	if err != nil {
+		return nil, fmt.Errorf("core: fault catalog: pa-memory: %w", err)
+	}
+	// Reference-spur comb of a broken PLL: signal images at +-k*12 MHz.
+	// Phase spurs are multiplicative, so the images track the signal level
+	// (dBc-constant) and land where the wideband masks have teeth.
+	spurs, err := rf.NewSpurComb(12e6, []float64{-15, -19, -24}, 33)
+	if err != nil {
+		return nil, fmt.Errorf("core: fault catalog: lo-spur-comb: %w", err)
+	}
+	return append(base,
+		Fault{
+			Name:        "dcde-stuck",
+			Description: "DCDE control word stuck near code 0 (8 ps): channels sample almost coincidentally, reconstruction conditioning collapses",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				c.TI.DCDE.Stuck = true
+				c.TI.DCDE.StuckAt = 8e-12
+			},
+		},
+		Fault{
+			Name:        "pa-memory",
+			Description: "PA memory effects (two-tap memory polynomial, tau = 22 ns): asymmetric spectral regrowth at nominal drive",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				c.Tx.PA = memPA
+			},
+		},
+		Fault{
+			Name:        "lo-spur-comb",
+			Description: "LO reference-spur comb (-15 dBc @ 12 MHz + harmonics): signal images violate the mask shoulders",
+			ShouldFail:  true,
+			Apply: func(c *Config) {
+				c.Tx.Spurs = spurs
+			},
+		},
+	), nil
+}
+
+// ExtendedCatalog is the panicking wrapper around BuildExtendedCatalog,
+// mirroring Catalog.
+func ExtendedCatalog() []Fault {
+	fs, err := BuildExtendedCatalog()
+	if err != nil {
+		panic(fmt.Sprintf("core: fault catalog: %v", err))
+	}
+	return fs
+}
+
+// FaultByName looks up a catalogue entry (base or extended).
 func FaultByName(name string) (Fault, error) {
-	for _, f := range Catalog() {
+	for _, f := range ExtendedCatalog() {
 		if f.Name == name {
 			return f, nil
 		}

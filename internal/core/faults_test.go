@@ -73,3 +73,119 @@ func TestCatalogFailureBalance(t *testing.T) {
 		t.Errorf("catalogue unbalanced: %d must-fail, %d benign", fail, benign)
 	}
 }
+
+// TestBuildCatalogMirrorsCatalog: the error-returning constructor and its
+// panicking wrapper must agree — same faults, same order, no panic.
+func TestBuildCatalogMirrorsCatalog(t *testing.T) {
+	built, err := BuildCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPanic := Catalog()
+	if len(built) != len(viaPanic) {
+		t.Fatalf("BuildCatalog %d faults, Catalog %d", len(built), len(viaPanic))
+	}
+	for i := range built {
+		if built[i].Name != viaPanic[i].Name || built[i].ShouldFail != viaPanic[i].ShouldFail {
+			t.Errorf("entry %d differs: %s vs %s", i, built[i].Name, viaPanic[i].Name)
+		}
+	}
+	ext, err := BuildExtendedCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != len(built)+3 {
+		t.Errorf("extended catalogue: %d faults, want base %d + 3", len(ext), len(built))
+	}
+}
+
+// TestExtendedCatalogWellFormed: the campaign-grade entries obey the same
+// contract as the base library — unique named, constructible, and Apply
+// actually mutates the configuration.
+func TestExtendedCatalogWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range ExtendedCatalog() {
+		if f.Name == "" || f.Description == "" {
+			t.Errorf("fault %+v missing name or description", f)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate fault name %q", f.Name)
+		}
+		seen[f.Name] = true
+		healthy := PaperScenario()
+		faulty := PaperScenario()
+		f.Apply(&faulty)
+		if reflect.DeepEqual(healthy, faulty) {
+			t.Errorf("%s: Apply left the configuration unchanged", f.Name)
+		}
+		if _, err := New(faulty); err != nil {
+			t.Errorf("%s: New rejected the faulty config: %v", f.Name, err)
+		}
+	}
+	if seen["healthy"] {
+		t.Error(`catalogue entry named "healthy" collides with the campaign baseline row`)
+	}
+}
+
+// TestNewFaultModelsApply: table test for the three campaign fault models
+// — each sets exactly its own knobs, and Apply has value semantics (the
+// original configuration passed by value elsewhere stays untouched).
+func TestNewFaultModelsApply(t *testing.T) {
+	cases := []struct {
+		name  string
+		check func(t *testing.T, c *Config)
+	}{
+		{"dcde-stuck", func(t *testing.T, c *Config) {
+			if !c.TI.DCDE.Stuck || c.TI.DCDE.StuckAt != 8e-12 {
+				t.Errorf("DCDE stuck state not set: %+v", c.TI.DCDE)
+			}
+			if c.Tx.PA != nil || c.Tx.Spurs != nil {
+				t.Error("dcde-stuck touched the transmitter")
+			}
+		}},
+		{"pa-memory", func(t *testing.T, c *Config) {
+			if c.Tx.PA == nil {
+				t.Fatal("PA not replaced")
+			}
+			if c.TI.DCDE.Stuck || c.Tx.Spurs != nil {
+				t.Error("pa-memory touched unrelated knobs")
+			}
+		}},
+		{"lo-spur-comb", func(t *testing.T, c *Config) {
+			if c.Tx.Spurs == nil {
+				t.Fatal("spur comb not installed")
+			}
+			if got := c.Tx.Spurs.RMSRadians(); got <= 0 {
+				t.Errorf("spur comb has no phase deviation: %g rad", got)
+			}
+			if c.Tx.PA != nil || c.TI.DCDE.Stuck {
+				t.Error("lo-spur-comb touched unrelated knobs")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		f, err := FaultByName(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !f.ShouldFail {
+			t.Errorf("%s: must be a ShouldFail fault", tc.name)
+		}
+		orig := PaperScenario()
+		cfg := orig
+		f.Apply(&cfg)
+		tc.check(t, &cfg)
+		if !reflect.DeepEqual(orig, PaperScenario()) {
+			t.Errorf("%s: Apply leaked into the original config", tc.name)
+		}
+	}
+}
+
+// TestFaultByNameFindsExtended: lookup spans the extended catalogue.
+func TestFaultByNameFindsExtended(t *testing.T) {
+	for _, name := range []string{"dcde-stuck", "pa-memory", "lo-spur-comb"} {
+		if _, err := FaultByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -94,6 +94,14 @@ func unitConfig(base Config, spread ProcessSpread, seed int64, u int) Config {
 	return cfg
 }
 
+// UnitConfig exposes the per-unit impairment draw to campaign code: the
+// same SplitMix64 contract RunYield uses, so a coverage grid sharded over
+// the pool at any worker count — or resumed from any unit index — derives
+// bit-identical device configurations.
+func UnitConfig(base Config, spread ProcessSpread, seed int64, u int) Config {
+	return unitConfig(base, spread, seed, u)
+}
+
 // mixSeed combines the lot seed with a unit index via the SplitMix64
 // finaliser, so that consecutive (seed, u) pairs land far apart in the
 // generator's state space.

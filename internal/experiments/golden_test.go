@@ -161,3 +161,16 @@ func TestGoldenFilterResp(t *testing.T) {
 	}
 	goldenCheck(t, "filterresp", r, testkit.DefaultOptions())
 }
+
+// TestGoldenCoverage pins the default-grid detection matrix at the same
+// reduced scale the campaign property tests use. The golden carries the
+// documented escapes (the backed-off 16QAM stimulus shipping PA faults),
+// so a physics change in any layer below — faults, stimuli, estimator,
+// mask — shows up here as a reviewable diff.
+func TestGoldenCoverage(t *testing.T) {
+	r, err := RunCoverage(nil, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "coverage", r, testkit.DefaultOptions())
+}

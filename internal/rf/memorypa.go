@@ -33,6 +33,17 @@ func NewMemoryPolyPA(taps [][3]complex128, tau float64) (*MemoryPolyPA, error) {
 	return &MemoryPolyPA{Taps: taps, Tau: tau}, nil
 }
 
+// Apply implements the PA interface with the model's memoryless core (the
+// q = 0 tap polynomial). A single value cannot carry the delayed-input
+// history, so this is exact only for Memoryless() models; NewTransmitter
+// detects the EnvelopePA capability and routes whole envelopes through
+// ApplyEnv, which evaluates the full memory structure.
+func (p *MemoryPolyPA) Apply(v complex128) complex128 {
+	c := p.Taps[0]
+	r2 := real(v)*real(v) + imag(v)*imag(v)
+	return v * (c[0] + c[1]*complex(r2, 0) + c[2]*complex(r2*r2, 0))
+}
+
 // ApplyEnv lifts the model to a whole envelope.
 func (p *MemoryPolyPA) ApplyEnv(env sig.Envelope) sig.Envelope {
 	taps := p.Taps

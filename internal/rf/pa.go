@@ -126,8 +126,21 @@ func (p *PolyPA) Describe() string {
 	return fmt.Sprintf("poly(a1=%v, a3=%v, a5=%v)", p.A1, p.A3, p.A5)
 }
 
-// ApplyPA lifts a PA model to a whole envelope.
+// EnvelopePA marks PA models whose output depends on the input history
+// (memory effects): they lift whole envelopes instead of single values.
+// ApplyPA dispatches on this capability, so a MemoryPolyPA plugged into
+// TxConfig.PA exercises its full memory structure.
+type EnvelopePA interface {
+	PA
+	ApplyEnv(env sig.Envelope) sig.Envelope
+}
+
+// ApplyPA lifts a PA model to a whole envelope, routing memory models
+// through their envelope-level implementation.
 func ApplyPA(p PA, env sig.Envelope) sig.Envelope {
+	if ep, ok := p.(EnvelopePA); ok {
+		return ep.ApplyEnv(env)
+	}
 	return sig.EnvelopeFunc(func(t float64) complex128 { return p.Apply(env.At(t)) })
 }
 

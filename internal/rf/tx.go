@@ -21,6 +21,9 @@ type TxConfig struct {
 	IQ *IQImbalance
 	// PhaseNoise models the RF local oscillator (nil = clean).
 	PhaseNoise *PhaseNoise
+	// Spurs models discrete LO spur combs (nil = spur-free), applied after
+	// the continuous phase-noise process.
+	Spurs *SpurComb
 	// PA is the power amplifier model (nil = unity).
 	PA PA
 	// OutputGain is a final linear scale (antenna/coupler), 0 = 1.
@@ -56,6 +59,9 @@ func NewTransmitter(cfg TxConfig, baseband sig.Envelope) (*Transmitter, error) {
 	}
 	if cfg.PhaseNoise != nil {
 		env = cfg.PhaseNoise.ApplyEnv(env)
+	}
+	if cfg.Spurs != nil {
+		env = cfg.Spurs.ApplyEnv(env)
 	}
 	if cfg.PA != nil {
 		env = ApplyPA(cfg.PA, env)
@@ -94,6 +100,9 @@ func (tx *Transmitter) Describe() string {
 	}
 	if tx.cfg.PhaseNoise != nil {
 		fmt.Fprintf(&b, ", LO PN %.3g mrad rms", 1e3*tx.cfg.PhaseNoise.RMSRadians())
+	}
+	if tx.cfg.Spurs != nil {
+		fmt.Fprintf(&b, ", LO %s", tx.cfg.Spurs.Describe())
 	}
 	if tx.cfg.PA != nil {
 		fmt.Fprintf(&b, ", PA %s", tx.cfg.PA.Describe())

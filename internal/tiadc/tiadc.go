@@ -26,6 +26,16 @@ type DCDE struct {
 	// Bias is an unknown static error added to the programmed delay; the
 	// BIST estimates the actual delay rather than trusting the setting.
 	Bias float64
+	// Stuck, when true, models a control word frozen at a fixed code: the
+	// element ignores the programmed setting and realises StuckAt (plus
+	// Bias) for every nominal delay. Unlike Bias — which the LMS absorbs —
+	// a code stuck near a degenerate delay (e.g. ~0, where the two
+	// channels sample almost coincidentally) destroys the reconstruction
+	// conditioning and must be caught by the BIST.
+	Stuck bool
+	// StuckAt is the delay the frozen code realises (only read when Stuck
+	// is set; may be 0).
+	StuckAt float64
 }
 
 // Set programs a nominal delay and returns the actual delay realised by the
@@ -33,6 +43,9 @@ type DCDE struct {
 func (d *DCDE) Set(nominal float64) (float64, error) {
 	if nominal < d.Min || nominal > d.Max {
 		return 0, fmt.Errorf("tiadc: delay %g s outside DCDE range [%g, %g]", nominal, d.Min, d.Max)
+	}
+	if d.Stuck {
+		return d.StuckAt + d.Bias, nil
 	}
 	setting := nominal
 	if d.Step > 0 {

@@ -282,3 +282,30 @@ func TestCaptureFloatFallbackWithoutQuantizer(t *testing.T) {
 		}
 	}
 }
+
+// TestDCDEStuck: a frozen control word ignores the programmed setting and
+// always realises StuckAt (plus bias) — range validation still applies to
+// the nominal, and the stuck path bypasses quantization of the setting.
+func TestDCDEStuck(t *testing.T) {
+	d := DCDE{Step: 10e-12, Min: 0, Max: 480e-12, Bias: 3e-12, Stuck: true, StuckAt: 8e-12}
+	for _, nominal := range []float64{0, 180e-12, 480e-12} {
+		got, err := d.Set(nominal)
+		if err != nil {
+			t.Fatalf("Set(%g): %v", nominal, err)
+		}
+		if got != 11e-12 {
+			t.Errorf("Set(%g) = %g, want stuck 11e-12", nominal, got)
+		}
+	}
+	if _, err := d.Set(500e-12); err == nil {
+		t.Error("out-of-range nominal must still error when stuck")
+	}
+	d.Stuck = false
+	got, err := d.Set(180e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 183e-12 {
+		t.Errorf("unstuck Set = %g, want 183e-12", got)
+	}
+}
