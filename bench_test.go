@@ -15,6 +15,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/modem"
@@ -306,6 +307,78 @@ func BenchmarkCostEvaluation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ce.Cost(180e-12 + float64(i%7)*1e-12); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostBatch measures the multi-candidate batched evaluation (the
+// CostCurve / bracket-scan shape): ns/op is for the whole 16-candidate
+// batch, directly comparable to 16x BenchmarkCostEvaluation's ns/op. The
+// batch shares the delay-independent fused tables across candidates.
+func BenchmarkCostBatch(b *testing.B) {
+	bandB := pnbs.Band{FLow: 955e6, B: 90e6}
+	bandB1 := skew.HalfRateBand(bandB)
+	d := 180e-12
+	mk := func(band pnbs.Band, t0 float64, n int) skew.SampleSet {
+		tt := band.T()
+		ch0 := make([]float64, n)
+		ch1 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ch0[i] = math.Cos(2 * math.Pi * 1.003e9 * (t0 + float64(i)*tt))
+			ch1[i] = math.Cos(2 * math.Pi * 1.003e9 * (t0 + float64(i)*tt + d))
+		}
+		return skew.SampleSet{Band: band, T0: t0, Ch0: ch0, Ch1: ch1}
+	}
+	setB := mk(bandB, 0, 300)
+	setB1 := mk(bandB1, -400e-9, 180)
+	times := skew.RandomTimes(500e-9, 1600e-9, 300, 1)
+	ce, err := skew.NewCostEvaluator(setB, setB1, times, pnbs.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dHats := make([]float64, 16)
+	for i := range dHats {
+		dHats[i] = 100e-12 + float64(i)*12e-12
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ce.CostBatch(dHats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignGrid measures the stimulus-coverage campaign per cell
+// (2 stimuli x 4 rows x 1 unit = 8 full BIST executions per op) with the
+// memoized stimulus payloads and pooled capture/grid buffers warm — the
+// per-unit cost a million-DUT campaign pays at steady state.
+func BenchmarkCampaignGrid(b *testing.B) {
+	g := campaign.Grid{
+		Stimuli: []campaign.StimulusSpec{
+			{Name: "qpsk-hot", Constellation: "QPSK", PRBSOrder: 15, PRBSSeed: 0x2A5B,
+				BurstLen: 128, BackoffDB: -3, Mask: "wideband-qpsk-15M"},
+			{Name: "qam16-cold", Constellation: "16QAM", PRBSOrder: 23, PRBSSeed: 0x7FFF1,
+				BurstLen: 128, BackoffDB: 6, Mask: "wideband-qpsk-15M"},
+		},
+		Faults:         []string{"pa-compression", "lo-spur-comb", "dcde-stuck"},
+		Units:          1,
+		Seed:           1701,
+		Scale:          0.1,
+		YieldThreshold: 0.5,
+	}
+	if _, err := g.Run(); err != nil { // warm memo + pools outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Cells) != 8 {
+			b.Fatalf("unexpected matrix shape: %d cells", len(m.Cells))
 		}
 	}
 }

@@ -1,0 +1,44 @@
+package campaign
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestCampaignAllocsFlatAcrossWorkers pins the buffer-recycling contract
+// end to end: once the stimulus memo, gain cache and acquisition pools are
+// warm, the heap growth of one grid run must not scale with the worker
+// count — widening the pool only changes how many pooled buffers are in
+// flight at once, not how many are allocated per run. A regression that
+// drops Release (or re-expands the stimulus per cell) shows up as a
+// worker-proportional or grossly inflated byte count.
+func TestCampaignAllocsFlatAcrossWorkers(t *testing.T) {
+	g := tinyGrid()
+	run := func() {
+		if _, err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measure := func(w int) uint64 {
+		old := par.SetWorkers(w)
+		defer par.SetWorkers(old)
+		run() // warm caches and pools at this width
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		run()
+		runtime.ReadMemStats(&m1)
+		return m1.TotalAlloc - m0.TotalAlloc
+	}
+	a1 := measure(1)
+	for _, w := range []int{2, 8} {
+		aw := measure(w)
+		// A GC between the ReadMemStats pair can drain the pools and force
+		// a refill, so allow slack; the regression signature (per-cell
+		// buffers reallocated every run) costs several multiples.
+		if float64(aw) > 2*float64(a1)+1<<20 {
+			t.Fatalf("workers=%d allocates %d bytes per run vs %d at workers=1; pooling is not holding", w, aw, a1)
+		}
+	}
+}

@@ -41,11 +41,19 @@ func TestMetricsCostEvalCounterMatchesLMS(t *testing.T) {
 		t.Errorf("run counter %d", snap.Counters["core.bist.runs"])
 	}
 	// The pool must have recycled: far fewer fresh builds than evaluations
-	// means the zero-alloc Retune path is actually running.
+	// means the zero-alloc Retune path is actually running. Logical
+	// evaluations split exactly into kernel evaluations (each acquiring a
+	// pooled worker) and LMS memo hits (repeated candidates, no kernel
+	// work).
 	news := snap.Counters["skew.cost.pool.news"]
 	gets := snap.Counters["skew.cost.pool.gets"]
-	if news+gets != int64(rep.LMS.CostEvals) {
-		t.Errorf("pool gets %d + news %d != cost evals %d", gets, news, rep.LMS.CostEvals)
+	hits := snap.Counters["skew.lms.memo.hits"]
+	if news+gets+hits != int64(rep.LMS.CostEvals) {
+		t.Errorf("pool gets %d + news %d + memo hits %d != cost evals %d",
+			gets, news, hits, rep.LMS.CostEvals)
+	}
+	if hits == 0 {
+		t.Error("descent revisited no candidates: memo instrumentation dead")
 	}
 	if news >= int64(rep.LMS.CostEvals)/2 {
 		t.Errorf("pool not recycling: %d fresh builds for %d evals", news, rep.LMS.CostEvals)
@@ -81,6 +89,7 @@ func curatedMetrics(s *obs.Snapshot) map[string]int64 {
 		"par.for.tasks",
 		"skew.cost.evals",
 		"skew.cost.errors",
+		"skew.lms.memo.hits",
 	} {
 		out[name] = s.Counters[name]
 	}

@@ -62,8 +62,13 @@ type Reconstructor struct {
 	// block caches the per-instant tables of the batch evaluation path
 	// (AtBlock); see block.go. The tables are delay-independent, so they
 	// survive Retune; the pointer is atomic so concurrent AtBlock callers
-	// on a shared reconstructor stay race-free.
-	block atomic.Pointer[blockPrep]
+	// on a shared reconstructor stay race-free. The slot itself is held by
+	// pointer so Clone can share one cache across a pool of retuned copies.
+	block *atomic.Pointer[blockPrep]
+	// fused caches the contracted tables of the reassociated fused path
+	// (AtBlockFused/CostFused); see fused.go. Delay-independent and shared
+	// across clones, like block.
+	fused *atomic.Pointer[fusedPrep]
 	// grid caches the fused per-phase coefficient tables of the uniform-
 	// grid path (AtGridInto/EnvelopeGridInto); see grid.go. These fold the
 	// delay in, so a Retune invalidates them (checked by value).
@@ -96,6 +101,8 @@ func NewReconstructor(band Band, dEst, t0 float64, ch0, ch1 []float64, opt Optio
 		ch1:      ch1,
 		opt:      o,
 		winScale: 1 / (float64(o.HalfTaps+1) * band.T()),
+		block:    new(atomic.Pointer[blockPrep]),
+		fused:    new(atomic.Pointer[fusedPrep]),
 	}
 	if o.KaiserBeta > 0 {
 		r.win = lutFor(o.KaiserBeta)
@@ -118,6 +125,45 @@ func NewReconstructor(band Band, dEst, t0 float64, ch0, ch1 []float64, opt Optio
 // reconstructor is left unchanged at its previous, valid delay.
 func (r *Reconstructor) Retune(dHat float64) error {
 	return r.kern.retune(dHat)
+}
+
+// Clone returns an independent reconstructor over the same capture, retuned
+// to dHat. The clone has its own kernel (so Retune on one never disturbs
+// another) but SHARES the delay-independent prepared-table caches (block and
+// fused) with the original and all its clones: the first member of the
+// family to prepare an instant block publishes the tables for everyone.
+// This is what lets a pool of per-candidate evaluator workers amortize one
+// table build across arbitrarily many candidate delays. Sharing is safe
+// because the prepared tables are immutable and validated by instant-set
+// value match on every use; concurrent preparation of different instant
+// sets merely thrashes the cache, it never corrupts a result. The
+// delay-dependent grid cache (AtGridInto) is deliberately NOT shared.
+func (r *Reconstructor) Clone(dHat float64) (*Reconstructor, error) {
+	kern, err := NewKernel(r.kern.band, dHat)
+	if err != nil {
+		return nil, err
+	}
+	c := &Reconstructor{
+		kern:     kern,
+		t0:       r.t0,
+		tStep:    r.tStep,
+		ch0:      r.ch0,
+		ch1:      r.ch1,
+		opt:      r.opt,
+		win:      r.win,
+		winScale: r.winScale,
+		rotA0:    r.rotA0,
+		rotB0:    r.rotB0,
+		rotA1:    r.rotA1,
+		rotB1:    r.rotB1,
+		cjA0:     r.cjA0,
+		cjB0:     r.cjB0,
+		cjA1:     r.cjA1,
+		cjB1:     r.cjB1,
+		block:    r.block,
+		fused:    r.fused,
+	}
+	return c, nil
 }
 
 // cis returns exp(i theta).

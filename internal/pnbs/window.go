@@ -23,6 +23,14 @@ type windowLUT struct {
 	// point on each side of [0, 1] for the cubic end segments.
 	vals []float64
 	inv  float64 // lutSize, as a float: 1/step
+	// coef[4i:4i+4] are segment i's Catmull-Rom coefficients in monomial
+	// form (w = c0 + fr(c1 + fr(c2 + fr c3))): the same cubic as at(), with
+	// the four-sample combination folded out at build time so the fused
+	// path's hot loop is a three-step Horner over one cache line instead of
+	// an eleven-op chain. The refactored rounding differs from at() by ~1
+	// ulp, which is why only the tolerance-contracted fused path uses it —
+	// at() keeps the pinned operation sequence.
+	coef []float64
 }
 
 // lutSize is the number of interpolation segments spanning y in [0, 1].
@@ -55,6 +63,15 @@ func newWindowLUT(beta float64) *windowLUT {
 	for k := range l.vals {
 		y := (float64(k) - 1) * step
 		l.vals[k] = i0EvenSeries(beta*beta*(1-y)) / den
+	}
+	l.coef = make([]float64, 4*lutSize)
+	for i := 0; i < lutSize; i++ {
+		v0, v1, v2, v3 := l.vals[i], l.vals[i+1], l.vals[i+2], l.vals[i+3]
+		c := l.coef[4*i : 4*i+4]
+		c[0] = v1
+		c[1] = 0.5 * (v2 - v0)
+		c[2] = 0.5 * (2*v0 - 5*v1 + 4*v2 - v3)
+		c[3] = 0.5 * (3*(v1-v2) + v3 - v0)
 	}
 	return l
 }

@@ -6,21 +6,22 @@ import (
 	"repro/internal/par"
 )
 
-// TestCostBlockedBitIdenticalAcrossWorkers pins the acceptance contract of
-// the blocked dispatch: Cost at workers 1, 2 and 8 must equal the
-// per-instant serial oracle (fresh reconstructors, one At call per instant,
-// index-order fold) bit for bit. AtBlock is bit-identical to At and the
-// per-instant values are pure functions of (instant, capture, dHat), so the
-// contiguous range split cannot change a single bit of the fold.
-func TestCostBlockedBitIdenticalAcrossWorkers(t *testing.T) {
+// TestCostFusedBitIdenticalAcrossWorkers pins the worker-count-invariance
+// half of the fused path's contract: Cost chunks the instants into
+// FIXED-size blocks (never derived from the pool width) and folds the
+// per-chunk partials serially in chunk order, so the value at workers 2 and
+// 8 must equal the single-worker value bit for bit.
+func TestCostFusedBitIdenticalAcrossWorkers(t *testing.T) {
 	ce := paperEvaluator(t, 180e-12)
 	dHats := []float64{50e-12, 120e-12, 180e-12, 240e-12, 400e-12}
 	for _, dHat := range dHats {
-		ref, err := ce.costSerial(dHat)
+		prev := par.SetWorkers(1)
+		ref, err := ce.Cost(dHat)
+		par.SetWorkers(prev)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, w := range []int{1, 2, 8} {
+		for _, w := range []int{2, 8} {
 			prev := par.SetWorkers(w)
 			got, err := ce.Cost(dHat)
 			par.SetWorkers(prev)
@@ -28,19 +29,42 @@ func TestCostBlockedBitIdenticalAcrossWorkers(t *testing.T) {
 				t.Fatal(err)
 			}
 			if got != ref {
-				t.Fatalf("workers=%d dHat=%g: blocked Cost %.17g != per-instant serial oracle %.17g",
+				t.Fatalf("workers=%d dHat=%g: fused Cost %.17g != single-worker %.17g",
 					w, dHat, got, ref)
 			}
 		}
 	}
 }
 
-// TestCostBlockedPrepSurvivesRetune drives one pooled worker through many
-// candidate delays: the first evaluation builds the per-block tables, every
-// later one must reuse them through Retune (the tables are delay
-// independent). Bit-equality with the rebuild-everything per-instant oracle
-// at each delay proves the reuse is exact, not approximate.
-func TestCostBlockedPrepSurvivesRetune(t *testing.T) {
+// TestCostFusedMatchesSerialOracle is the tolerance half of the contract:
+// the reassociated fused value must agree with the rebuild-everything
+// per-instant serial oracle to 1e-9 relative (the documented estimate-stage
+// golden tolerance; in practice the agreement is ~1e-12).
+func TestCostFusedMatchesSerialOracle(t *testing.T) {
+	ce := paperEvaluator(t, 180e-12)
+	for _, dHat := range []float64{50e-12, 120e-12, 180e-12, 240e-12, 400e-12} {
+		got, err := ce.Cost(dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := ce.costSerial(dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd := relDiff(got, ref); rd > 1e-9 {
+			t.Fatalf("dHat=%g: fused %.17g vs serial oracle %.17g (rel %g)", dHat, got, ref, rd)
+		}
+	}
+}
+
+// TestCostFusedPrepSurvivesRetune drives one pooled worker through many
+// candidate delays: the first evaluation builds the contracted tables,
+// every later one must reuse them through Retune (the tables are delay
+// independent). Bit-equality with a FRESH evaluator's first evaluation at
+// the same delay proves the reuse is exact — the retuned tables are the
+// very floats a from-scratch build produces — and the serial oracle bounds
+// the absolute accuracy at each stop.
+func TestCostFusedPrepSurvivesRetune(t *testing.T) {
 	ce := paperEvaluator(t, 180e-12)
 	prev := par.SetWorkers(1)
 	defer par.SetWorkers(prev)
@@ -49,12 +73,65 @@ func TestCostBlockedPrepSurvivesRetune(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref, err := ce.costSerial(dHat) // fresh build, per-instant At
+		fresh := paperEvaluator(t, 180e-12)
+		want, err := fresh.Cost(dHat) // fresh evaluator: tables built from scratch
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != ref {
-			t.Fatalf("dHat=%g: retuned worker %.17g != fresh per-instant build %.17g", dHat, got, ref)
+		if got != want {
+			t.Fatalf("dHat=%g: retuned worker %.17g != fresh build %.17g", dHat, got, want)
 		}
+		ref, err := ce.costSerial(dHat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd := relDiff(got, ref); rd > 1e-9 {
+			t.Fatalf("dHat=%g: retuned %.17g vs serial oracle %.17g (rel %g)", dHat, got, ref, rd)
+		}
+	}
+}
+
+// TestCostBatchMatchesLoopOfCost pins the batching contract: CostBatch
+// shares table setup across candidates but performs the exact per-candidate
+// computation Cost does (same fixed chunks, same chunk-order fold), so the
+// batch must equal a loop of Cost calls bit for bit — at any worker count.
+func TestCostBatchMatchesLoopOfCost(t *testing.T) {
+	ce := paperEvaluator(t, 180e-12)
+	dHats := []float64{60e-12, 110e-12, 180e-12, 230e-12, 310e-12, 390e-12}
+	want := make([]float64, len(dHats))
+	for i, d := range dHats {
+		v, err := ce.Cost(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	for _, w := range []int{1, 2, 8} {
+		prev := par.SetWorkers(w)
+		got, err := ce.CostBatch(dHats)
+		par.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d candidate %d (dHat=%g): batch %.17g != Cost %.17g",
+					w, i, dHats[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCostBatchPropagatesForbiddenDelay: a candidate on a forbidden delay
+// (Eq. 3) fails the whole batch deterministically.
+func TestCostBatchPropagatesForbiddenDelay(t *testing.T) {
+	ce := paperEvaluator(t, 180e-12)
+	if _, err := ce.CostBatch([]float64{180e-12, 0}); err == nil {
+		t.Fatal("batch with a zero-delay candidate did not fail")
+	}
+	// Empty batch is a no-op.
+	out, err := ce.CostBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
 	}
 }

@@ -26,6 +26,10 @@ var (
 	mPoolGets   = obs.C("skew.cost.pool.gets")
 	mPoolNews   = obs.C("skew.cost.pool.news")
 	mRetunes    = obs.C("skew.cost.retunes")
+	// mMemoHits counts descent evaluations served from the LMS candidate
+	// memo: logical evaluations that did no kernel work, so pool gets +
+	// news + memo hits = cost evals exactly.
+	mMemoHits = obs.C("skew.lms.memo.hits")
 )
 
 // SampleSet is one nonuniform capture expressed for reconstruction:
@@ -88,26 +92,36 @@ type CostEvaluator struct {
 	setB1 SampleSet
 	times []float64
 	opt   pnbs.Options
-	// workers recycles reconstructor pairs (plus a per-instant scratch
-	// buffer) across Cost calls: a candidate delay is swapped in with
-	// Retune instead of rebuilding kernels and phasor tables, so the LMS
-	// hot loop runs allocation-free. A pool rather than a single pair
-	// keeps Cost safe to call from concurrent goroutines (parallel sweep
-	// points, parallel LMS traces) without serialising them.
+	// workers recycles reconstructor pairs (plus per-chunk partial storage)
+	// across Cost calls: a candidate delay is swapped in with Retune
+	// instead of rebuilding kernels and phasor tables, so the LMS hot loop
+	// runs allocation-free. A pool rather than a single pair keeps Cost
+	// safe to call from concurrent goroutines (parallel sweep points,
+	// parallel LMS traces, CostBatch candidates) without serialising them.
 	workers sync.Pool // *costWorker
+	// protoB/protoB1 are the template reconstructor pair every fresh pool
+	// worker is cloned from. Clones share the delay-independent prepared
+	// tables (pnbs.Reconstructor.Clone), so the fused-path contraction is
+	// built once per capture and amortized across all candidates and all
+	// concurrent workers.
+	protoMu         sync.Mutex
+	protoB, protoB1 *pnbs.Reconstructor
 }
 
-// costWorker is one reusable evaluation context. vB and vB1 receive the two
-// blocked reconstructions; keeping them separate (rather than a fused
-// squared-difference scratch) lets the par-fanned ranges write disjoint
-// sub-slices and the fold stay a serial index-order pass.
+// costChunk is the fixed instant-chunk size of the fused cost fold. It is a
+// constant — never derived from the worker count — so the per-chunk partial
+// sums and their chunk-order fold are bit-identical at any pool size.
+const costChunk = 16
+
+// costWorker is one reusable evaluation context: a retunable reconstructor
+// pair plus the per-chunk partials of the fused residual fold.
 type costWorker struct {
-	rB, rB1 *pnbs.Reconstructor
-	vB, vB1 []float64
+	rB, rB1  *pnbs.Reconstructor
+	partials []float64
 }
 
-// worker returns a pooled evaluation context retuned to dHat, building a
-// fresh one only when the pool is empty.
+// worker returns a pooled evaluation context retuned to dHat, cloning a
+// fresh one from the template pair only when the pool is empty.
 func (c *CostEvaluator) worker(dHat float64) (*costWorker, error) {
 	if v := c.workers.Get(); v != nil {
 		w := v.(*costWorker)
@@ -124,20 +138,37 @@ func (c *CostEvaluator) worker(dHat float64) (*costWorker, error) {
 		return w, nil
 	}
 	mPoolNews.Inc()
-	rB, err := pnbs.NewReconstructor(c.setB.Band, dHat, c.setB.T0, c.setB.Ch0, c.setB.Ch1, c.opt)
+	pB, pB1, err := c.proto(dHat)
 	if err != nil {
 		return nil, err
 	}
-	rB1, err := pnbs.NewReconstructor(c.setB1.Band, dHat, c.setB1.T0, c.setB1.Ch0, c.setB1.Ch1, c.opt)
+	rB, err := pB.Clone(dHat)
 	if err != nil {
 		return nil, err
 	}
-	return &costWorker{
-		rB:  rB,
-		rB1: rB1,
-		vB:  make([]float64, len(c.times)),
-		vB1: make([]float64, len(c.times)),
-	}, nil
+	rB1, err := pB1.Clone(dHat)
+	if err != nil {
+		return nil, err
+	}
+	return &costWorker{rB: rB, rB1: rB1}, nil
+}
+
+// proto returns the template reconstructor pair, building it on first use.
+func (c *CostEvaluator) proto(dHat float64) (*pnbs.Reconstructor, *pnbs.Reconstructor, error) {
+	c.protoMu.Lock()
+	defer c.protoMu.Unlock()
+	if c.protoB == nil {
+		rB, err := pnbs.NewReconstructor(c.setB.Band, dHat, c.setB.T0, c.setB.Ch0, c.setB.Ch1, c.opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		rB1, err := pnbs.NewReconstructor(c.setB1.Band, dHat, c.setB1.T0, c.setB1.Ch0, c.setB1.Ch1, c.opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.protoB, c.protoB1 = rB, rB1
+	}
+	return c.protoB, c.protoB1, nil
 }
 
 // NewCostEvaluator validates the two captures and the evaluation instants.
@@ -163,14 +194,15 @@ func (c *CostEvaluator) Times() []float64 { return c.times }
 func (c *CostEvaluator) M() float64 { return MUpper(c.setB.Band, c.setB1.Band) }
 
 // Cost evaluates the Eq. (7) objective at the candidate delay dHat through
-// the blocked batch kernel: both reconstructors prepare the instant block
-// once (the delay-independent tables survive Retune, so a pooled worker
-// prepares only on its first evaluation), contiguous ranges of AtBlock
-// evaluations fan out over the par pool, and the squared differences are
-// folded serially in index order. AtBlock values are bit-identical to At
-// and independent of the range split, so the result is bit-identical to
-// the per-instant serial evaluation (costSerial) at any worker count.
-// Cost is safe for concurrent use.
+// the fused reassociated kernel (pnbs.CostFused): both reconstructors share
+// delay-independent contracted tables (built once per capture, surviving
+// Retune and shared across pooled workers via Clone), fixed-size instant
+// chunks fan out over the par pool, and the per-chunk residual partials are
+// folded serially in chunk order. The chunk boundaries never depend on the
+// worker count, so the result is bit-identical at any pool size; against
+// the per-instant serial oracle (costSerial) the fused value agrees to
+// <= 1e-9 relative — reassociated, not bit-identical (the documented
+// estimate-stage tolerance contract). Cost is safe for concurrent use.
 func (c *CostEvaluator) Cost(dHat float64) (float64, error) {
 	mCostEvals.Inc()
 	w, err := c.worker(dHat)
@@ -180,29 +212,82 @@ func (c *CostEvaluator) Cost(dHat float64) (float64, error) {
 	}
 	defer c.workers.Put(w)
 	n := len(c.times)
-	if cap(w.vB) < n {
-		w.vB = make([]float64, n)
-		w.vB1 = make([]float64, n)
-	}
-	vB, vB1 := w.vB[:n], w.vB1[:n]
-	w.rB.PrepareBlock(c.times)
-	w.rB1.PrepareBlock(c.times)
-	par.ForRanges(n, func(lo, hi int) {
-		w.rB.AtBlockRange(c.times, lo, hi, vB[lo:hi])
-		w.rB1.AtBlockRange(c.times, lo, hi, vB1[lo:hi])
+	partials := w.chunkStorage(n)
+	w.rB.PrepareFused(c.times)
+	w.rB1.PrepareFused(c.times)
+	par.ForChunks(n, costChunk, func(lo, hi int) {
+		partials[lo/costChunk] = pnbs.CostFused(w.rB, w.rB1, c.times, lo, hi)
 	})
-	acc := 0.0
-	for i, v := range vB {
-		d := v - vB1[i]
-		acc += d * d
+	return foldChunks(partials, n), nil
+}
+
+// chunkStorage returns the worker's per-chunk partial buffer sized for n
+// instants.
+func (w *costWorker) chunkStorage(n int) []float64 {
+	nc := (n + costChunk - 1) / costChunk
+	if cap(w.partials) < nc {
+		w.partials = make([]float64, nc)
 	}
-	return acc / float64(n), nil
+	return w.partials[:nc]
+}
+
+// foldChunks folds the per-chunk partials serially in chunk order — the one
+// fixed association the worker-count-invariance contract pins.
+func foldChunks(partials []float64, n int) float64 {
+	acc := 0.0
+	for _, p := range partials {
+		acc += p
+	}
+	return acc / float64(n)
+}
+
+// CostBatch evaluates the objective at every candidate delay, amortizing
+// the delay-independent table setup across the batch: candidates fan out
+// over the par pool, each on a pooled worker whose reconstructor pair
+// shares the one contracted-table build (Clone semantics), and each
+// candidate's chunks run inline in chunk order. The per-candidate partials
+// and fold are the exact computation Cost performs, so
+// CostBatch(ds)[i] == Cost(ds[i]) bit for bit (the equivalence test pins
+// it). A candidate at a forbidden delay fails the whole batch with that
+// candidate's error (lowest index wins, deterministically).
+func (c *CostEvaluator) CostBatch(dHats []float64) ([]float64, error) {
+	out := make([]float64, len(dHats))
+	if len(dHats) == 0 {
+		return out, nil
+	}
+	mCostEvals.Add(int64(len(dHats)))
+	err := par.ForErr(len(dHats), func(i int) error {
+		w, err := c.worker(dHats[i])
+		if err != nil {
+			mCostErrors.Inc()
+			return err
+		}
+		defer c.workers.Put(w)
+		n := len(c.times)
+		partials := w.chunkStorage(n)
+		w.rB.PrepareFused(c.times)
+		w.rB1.PrepareFused(c.times)
+		for lo := 0; lo < n; lo += costChunk {
+			hi := lo + costChunk
+			if hi > n {
+				hi = n
+			}
+			partials[lo/costChunk] = pnbs.CostFused(w.rB, w.rB1, c.times, lo, hi)
+		}
+		out[i] = foldChunks(partials, n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // costSerial is the single-threaded, rebuild-everything, per-instant At
 // reference implementation of Cost (the seed code path), kept as the
-// oracle for the differential tests: the blocked parallel path must match
-// it bit for bit at any worker count.
+// oracle for the differential tests: the fused reassociated path must agree
+// with it to <= 1e-9 relative (the estimate-stage tolerance contract), and
+// must itself be bit-identical at any worker count.
 func (c *CostEvaluator) costSerial(dHat float64) (float64, error) {
 	rB, err := pnbs.NewReconstructor(c.setB.Band, dHat, c.setB.T0, c.setB.Ch0, c.setB.Ch1, c.opt)
 	if err != nil {

@@ -9,11 +9,39 @@ package tiadc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/adc"
 	"repro/internal/par"
 	"repro/internal/sig"
 )
+
+// The acquisition buffer pools recycle per-channel sample and code buffers
+// across captures: a fault-matrix campaign acquires two captures per unit
+// across thousands of (stimulus, fault, unit) cells, and the ~KB-to-MB
+// channel buffers dominated its steady-state allocation rate. Buffers are
+// handed back via Capture.Release once nothing aliases them; a pooled
+// buffer is fully overwritten by the next capture (every index in
+// [0, n) is written by the pipeline), so reuse cannot leak one capture's
+// samples into the next — the poisoned-pool test pins that.
+var (
+	valsPool sync.Pool // *[]float64
+	rawPool  sync.Pool // *[]int16
+)
+
+func getVals(n int) []float64 {
+	if p, _ := valsPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func getRaw(n int) []int16 {
+	if p, _ := rawPool.Get().(*[]int16); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int16, n)
+}
 
 // DCDE is a digitally controlled delay element with a settable range,
 // a step (delay DAC resolution) and a static bias representing the analog
@@ -134,6 +162,32 @@ type Capture struct {
 // N returns the per-channel sample count.
 func (c *Capture) N() int { return len(c.Ch0) }
 
+// Release hands the capture's channel buffers back to the shared
+// acquisition pools and clears the fields. Call it only once nothing
+// aliases the slices anymore (sample sets, reconstructors and evaluators
+// built from this capture must all be dead); after Release the capture
+// reads as empty. Releasing is optional — an unreleased capture is simply
+// garbage collected.
+func (c *Capture) Release() {
+	if c == nil {
+		return
+	}
+	for _, ch := range []*[]float64{&c.Ch0, &c.Ch1} {
+		if *ch != nil {
+			buf := *ch
+			valsPool.Put(&buf)
+			*ch = nil
+		}
+	}
+	for _, rw := range []*[]int16{&c.Raw0, &c.Raw1} {
+		if *rw != nil {
+			buf := *rw
+			rawPool.Put(&buf)
+			*rw = nil
+		}
+	}
+}
+
 // Times0 returns the nominal channel-0 sampling instants.
 func (c *Capture) Times0() []float64 { return sig.UniformTimes(c.T0, c.T, len(c.Ch0)) }
 
@@ -193,9 +247,9 @@ func (ti *TIADC) Capture(x sig.Signal, period, nominalD, t0 float64, n int) (*Ca
 // unchanged goldens pin this).
 func captureChannel(a *adc.ADC, x sig.Signal, times []float64, chunk int) (vals []float64, raw []int16) {
 	n := len(times)
-	vals = make([]float64, n)
+	vals = getVals(n)
 	if a.Int16Capable() {
-		raw = make([]int16, n)
+		raw = getRaw(n)
 	}
 	par.Stream(n, chunk, 0,
 		func(lo, hi int) {
