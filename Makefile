@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-hot bench-block bench-fused bench-fft obs-bench trace-smoke campaign-smoke campaign-smoke-update cover fuzz-smoke golden-update
+.PHONY: all build test vet race check bench bench-hot bench-block bench-fused bench-fft obs-bench trace-smoke campaign-smoke campaign-smoke-update bistd-smoke cover fuzz-smoke golden-update
 
 # Committed coverage floor (percent of statements): `make cover` fails when
 # total coverage drops below this.
@@ -176,6 +176,28 @@ campaign-smoke:
 		| cmp - cmd/bistlab/testdata/golden/campaign_smoke.json
 	$(GO) test ./internal/campaign ./cmd/bistlab -run 'Campaign|Coverage'
 	@echo "campaign smoke OK"
+
+# bistd-smoke boots the fleet daemon on an ephemeral port, runs the
+# committed smoke campaign through its HTTP surface with bistd's own
+# client mode, and compares the served detection matrix byte-for-byte
+# against the campaign golden: the service path must reproduce exactly
+# what the in-process CLI produces. The daemon is then stopped with
+# SIGTERM to exercise the graceful drain.
+bistd-smoke:
+	@set -e; \
+	$(GO) build -o .bistd_smoke.bin ./cmd/bistd; \
+	rm -rf .bistd_smoke.addr .bistd_smoke_ckpt; \
+	./.bistd_smoke.bin -addr 127.0.0.1:0 -addr-file .bistd_smoke.addr -checkpoint-dir .bistd_smoke_ckpt & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf .bistd_smoke.bin .bistd_smoke.addr .bistd_smoke_ckpt' EXIT; \
+	for i in $$(seq 1 100); do [ -s .bistd_smoke.addr ] && break; sleep 0.1; done; \
+	[ -s .bistd_smoke.addr ] || { echo "bistd-smoke: daemon did not come up"; exit 1; }; \
+	addr=$$(cat .bistd_smoke.addr); \
+	./.bistd_smoke.bin -submit cmd/bistlab/testdata/campaign_smoke_grid.json \
+		-server "http://$$addr" -quiet \
+		| cmp - cmd/bistlab/testdata/golden/campaign_smoke.json; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "bistd smoke OK"
 
 # campaign-smoke-update regenerates the CLI campaign golden after an
 # intended matrix change. Inspect the diff before committing.

@@ -1,63 +1,14 @@
 package main
 
 import (
-	"expvar"
-	"net"
-	"net/http"
-	"net/http/pprof"
-	"sync"
-
-	"repro/internal/obs"
+	"repro/internal/httpx"
 )
 
-// publishOnce guards the expvar registration: expvar.Publish panics on a
-// duplicate name, and tests start several servers in one process.
-var publishOnce sync.Once
-
-// metricsServer is the -metrics-addr HTTP endpoint: /metrics serves the
-// canonical-JSON snapshot of the default obs registry, /debug/vars the
-// expvar view of the same data (plus the stdlib memstats/cmdline vars),
-// and — only when requested — /debug/pprof. A private mux is used instead
-// of http.DefaultServeMux precisely so importing net/http/pprof does not
-// unconditionally expose profiling.
-type metricsServer struct {
-	ln  net.Listener
-	srv *http.Server
+// startMetricsServer stands up the -metrics-addr endpoint on the shared
+// hardened server (header-read timeout, graceful stop): /metrics serves
+// the canonical-JSON snapshot of the default obs registry, /debug/vars the
+// expvar view, and — only when requested — /debug/pprof. See
+// internal/httpx for the mux and serving policy.
+func startMetricsServer(addr string, withPprof bool) (*httpx.Server, error) {
+	return httpx.Serve(addr, httpx.ObsMux(withPprof))
 }
-
-func startMetricsServer(addr string, withPprof bool) (*metricsServer, error) {
-	publishOnce.Do(func() {
-		expvar.Publish("bist", expvar.Func(obs.ExpvarFunc()))
-	})
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		b, err := obs.MarshalSnapshot()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(b)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	if withPprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &metricsServer{ln: ln, srv: &http.Server{Handler: mux}}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
-	return s, nil
-}
-
-// Addr returns the bound address (resolves ":0" to the real port).
-func (s *metricsServer) Addr() string { return s.ln.Addr().String() }
-
-// Close stops the listener and in-flight handlers.
-func (s *metricsServer) Close() error { return s.srv.Close() }

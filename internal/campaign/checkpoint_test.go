@@ -1,0 +1,160 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func runPlanCells(t *testing.T, p *Plan, indices []int) []CellResult {
+	t.Helper()
+	var out []CellResult
+	for _, i := range indices {
+		r, err := p.RunCell(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func allIndices(p *Plan) []int {
+	out := make([]int, len(p.Cells))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := planGrid()
+	p, err := NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := NewCheckpoint(p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runPlanCells(t, p, allIndices(p)) {
+		ck.Add(r)
+	}
+	b, err := ck.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := ParseCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ck2.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("checkpoint does not round-trip byte-stable")
+	}
+	if err := ck2.Validate(p); err != nil {
+		t.Errorf("round-tripped checkpoint fails validation: %v", err)
+	}
+}
+
+func TestCheckpointAddReplacesAndSorts(t *testing.T) {
+	ck := &Checkpoint{GridHash: "x", ShardCount: 1}
+	ck.Add(CellResult{Stimulus: "b", Fault: "f", Units: 1})
+	ck.Add(CellResult{Stimulus: "a", Fault: "f", Units: 1})
+	ck.Add(CellResult{Stimulus: "b", Fault: "f", Units: 1, Rejected: 1})
+	if len(ck.Cells) != 2 {
+		t.Fatalf("Add kept %d cells, want 2 (replacement, not append)", len(ck.Cells))
+	}
+	if ck.Cells[0].Stimulus != "a" || ck.Cells[1].Stimulus != "b" {
+		t.Error("cells not sorted by stimulus")
+	}
+	if ck.Cells[1].Rejected != 1 {
+		t.Error("Add did not replace the earlier result")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := ParseCheckpoint([]byte(`{"GridHash":"x","Bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseCheckpoint([]byte(`{} {}`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestCheckpointValidateMismatches(t *testing.T) {
+	p, err := NewPlan(planGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := p.GridHash()
+
+	ck := &Checkpoint{GridHash: "deadbeef", ShardCount: 1}
+	if err := ck.Validate(p); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Errorf("foreign grid hash accepted: %v", err)
+	}
+	ck = &Checkpoint{GridHash: h, ShardIndex: 3, ShardCount: 2}
+	if err := ck.Validate(p); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Errorf("out-of-range shard accepted: %v", err)
+	}
+	ck = &Checkpoint{GridHash: h, ShardCount: 1,
+		Cells: []CellResult{{Stimulus: "nope", Fault: "healthy", Units: 1}}}
+	if err := ck.Validate(p); err == nil || !strings.Contains(err.Error(), "not in plan") {
+		t.Errorf("foreign cell accepted: %v", err)
+	}
+	ck = &Checkpoint{GridHash: h, ShardCount: 1,
+		Cells: []CellResult{{Stimulus: "qpsk-tiny", Fault: healthyName, Units: 99}}}
+	if err := ck.Validate(p); err == nil || !strings.Contains(err.Error(), "units") {
+		t.Errorf("stale unit count accepted: %v", err)
+	}
+}
+
+// TestMergeCheckpointsEqualsSingleProcess pins the sharding contract at
+// the library level: two shard checkpoints merge into the same bytes the
+// unsharded run produces, and incomplete or overlapping coverage is
+// refused.
+func TestMergeCheckpointsEqualsSingleProcess(t *testing.T) {
+	g := planGrid()
+	want, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _ := want.MarshalCanonical()
+
+	p, err := NewPlan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cks []*Checkpoint
+	for idx := 0; idx < 2; idx++ {
+		ids, err := p.ShardIndices(idx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := NewCheckpoint(p, idx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range runPlanCells(t, p, ids) {
+			ck.Add(r)
+		}
+		cks = append(cks, ck)
+	}
+	m, err := MergeCheckpoints(g, cks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, _ := m.MarshalCanonical()
+	if string(gotB) != string(wantB) {
+		t.Error("merged shard matrices differ from the single-process run")
+	}
+
+	if _, err := MergeCheckpoints(g, cks[0]); err == nil {
+		t.Error("merge with a missing shard accepted")
+	}
+	if _, err := MergeCheckpoints(g, cks[0], cks[0], cks[1]); err == nil {
+		t.Error("merge with duplicate coverage accepted")
+	}
+}

@@ -45,8 +45,14 @@ type CellResult struct {
 	Errors int
 	// DetectionRate is Rejected / Units.
 	DetectionRate float64
-	// WorstMarginDB is the worst mask margin seen across units (0 when no
-	// unit produced a mask verdict).
+	// HasMargin reports whether any unit produced a mask verdict at all;
+	// WorstMarginDB is meaningful only when it is true. The split keeps a
+	// genuine 0 dB worst margin (a DUT exactly on the mask) distinct from
+	// "no mask verdict produced" (e.g. every unit errored out), which a
+	// bare zero used to conflate.
+	HasMargin bool
+	// WorstMarginDB is the worst mask margin seen across units (0 when
+	// HasMargin is false).
 	WorstMarginDB float64
 }
 
@@ -147,100 +153,29 @@ func baseConfig(scale float64) core.Config {
 
 // Run expands the grid into (stimulus, fault, unit) cells, runs every cell
 // through the full BIST over the par pool, and folds the results into the
-// detection matrix. The fold is deterministic: cells are keyed by content,
-// results are written by index and sorted by name, so the matrix bytes do
-// not depend on worker count or grid row order.
+// detection matrix. It is the batch convenience over the incremental
+// primitives (NewPlan / Plan.RunCell / Plan.Fold) the fleet service
+// schedules cell by cell; both paths produce the same bytes because every
+// cell result is a pure function of the cell's content and the fold sorts
+// by name — never by worker count, arrival order or grid row order.
 func (g Grid) Run() (*DetectionMatrix, error) {
-	g = g.withDefaults()
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	catalog, err := core.BuildExtendedCatalog()
+	p, err := NewPlan(g)
 	if err != nil {
 		return nil, err
 	}
-	faults := []core.Fault{{Name: healthyName, ShouldFail: false}}
-	if len(g.Faults) == 0 {
-		faults = append(faults, catalog...)
-	} else {
-		for _, name := range g.Faults {
-			f, err := core.FaultByName(name)
-			if err != nil {
-				return nil, fmt.Errorf("campaign: grid: %w", err)
-			}
-			faults = append(faults, f)
-		}
-	}
-
-	type cellJob struct {
-		stim  StimulusSpec
-		fault core.Fault
-		seed  int64
-	}
-	var jobs []cellJob
-	for _, s := range g.Stimuli {
-		canon, err := s.MarshalCanonical()
+	cells := make([]CellResult, len(p.Cells))
+	perr := par.ForErr(len(p.Cells), func(i int) error {
+		cell, err := p.RunCell(i, nil)
 		if err != nil {
-			return nil, fmt.Errorf("campaign: stimulus %s: %w", s.Name, err)
+			return err
 		}
-		for _, f := range faults {
-			jobs = append(jobs, cellJob{stim: s, fault: f, seed: cellSeed(g.Seed, canon, f.Name)})
-		}
-	}
-
-	base := baseConfig(g.Scale)
-	spread := core.TypicalSpread()
-	cells := make([]CellResult, len(jobs))
-	perr := par.ForErr(len(jobs), func(i int) error {
-		job := jobs[i]
-		sp := trace.Start(trace.Root, tnCell)
-		defer sp.End()
-		cell := CellResult{
-			Stimulus:      job.stim.Name,
-			Fault:         job.fault.Name,
-			ShouldFail:    job.fault.ShouldFail,
-			Units:         g.Units,
-			WorstMarginDB: 0,
-		}
-		worst, haveWorst := 0.0, false
-		for u := 0; u < g.Units; u++ {
-			cfg := core.UnitConfig(base, spread, job.seed, u)
-			if job.fault.Apply != nil {
-				job.fault.Apply(&cfg)
-			}
-			cfg, err := job.stim.Configure(cfg)
-			if err != nil {
-				return fmt.Errorf("campaign: cell %s/%s: %w", job.stim.Name, job.fault.Name, err)
-			}
-			rep, runErr := runUnit(cfg, sp.Ctx())
-			mUnits.Inc()
-			if runErr != nil {
-				cell.Errors++
-				cell.Rejected++ // unmeasurable units do not ship
-				mErrors.Inc()
-				mRejected.Inc()
-				continue
-			}
-			if !rep.Pass {
-				cell.Rejected++
-				mRejected.Inc()
-			}
-			if rep.Mask != nil && (!haveWorst || rep.Mask.WorstMarginDB < worst) {
-				worst, haveWorst = rep.Mask.WorstMarginDB, true
-			}
-		}
-		if haveWorst {
-			cell.WorstMarginDB = worst
-		}
-		cell.DetectionRate = float64(cell.Rejected) / float64(cell.Units)
 		cells[i] = cell
-		mCells.Inc()
 		return nil
 	})
 	if perr != nil {
 		return nil, perr
 	}
-	return g.fold(cells), nil
+	return p.Fold(cells), nil
 }
 
 // runUnit executes one device through the BIST, converting panics-by-

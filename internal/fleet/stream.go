@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"sync"
+)
+
+// eventLog is a campaign's append-only NDJSON event history with
+// broadcast: every subscriber replays the full history from its own cursor
+// and then follows live appends, so a client that attaches mid-campaign
+// (or after it finished) sees exactly the same stream as one that attached
+// before the first cell. Appends come from many worker goroutines; reads
+// never block writers beyond the mutex handoff.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events [][]byte
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append adds one encoded event line and wakes every waiting subscriber.
+func (l *eventLog) append(line []byte) {
+	l.mu.Lock()
+	l.events = append(l.events, line)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// close marks the stream complete: subscribers drain what is left and
+// stop. Idempotent.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// next blocks until events beyond cursor exist (returning them and the new
+// cursor) or the log is closed with nothing left (ok=false). The returned
+// slice aliases the log's backing array; events are immutable once
+// appended.
+func (l *eventLog) next(cursor int) (batch [][]byte, newCursor int, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for cursor >= len(l.events) && !l.closed {
+		l.cond.Wait()
+	}
+	if cursor < len(l.events) {
+		return l.events[cursor:], len(l.events), true
+	}
+	return nil, cursor, false
+}
+
+// wake nudges all subscribers so they can re-check an external condition
+// (e.g. a dropped client connection detected by its context).
+func (l *eventLog) wake() { l.cond.Broadcast() }

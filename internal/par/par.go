@@ -47,14 +47,37 @@ func init() {
 	// BIST_WORKERS overrides the pool width for the whole process without a
 	// code change (ops knob; GOMAXPROCS still bounds real parallelism).
 	if s := os.Getenv("BIST_WORKERS"); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+		n, warn := parseWorkersEnv(s)
+		if warn != "" {
+			fmt.Fprintln(os.Stderr, "par: BIST_WORKERS:", warn)
+		}
+		if n > 0 {
 			workerOverride.Store(int64(n))
 		}
 	}
 }
 
+// parseWorkersEnv interprets a BIST_WORKERS value under the same cap that
+// SetWorkers enforces. It returns the override to apply (0 = leave the
+// default active) and a warning for values that are unparseable or out of
+// range — the env path must not silently accept what the API would reject,
+// and must not silently ignore what the operator clearly meant as a knob.
+func parseWorkersEnv(s string) (n int, warn string) {
+	v, err := strconv.Atoi(s)
+	switch {
+	case err != nil:
+		return 0, fmt.Sprintf("unparseable value %q ignored (want an integer)", s)
+	case v <= 0:
+		return 0, fmt.Sprintf("non-positive value %d ignored (using the default of min(GOMAXPROCS, NumCPU))", v)
+	case v > maxWorkers:
+		return maxWorkers, fmt.Sprintf("value %d above the %d cap, clamped", v, maxWorkers)
+	}
+	return v, ""
+}
+
 // maxWorkers is a sanity cap on explicit overrides: far above any real
 // machine, low enough to keep a typo from spawning millions of goroutines.
+// Both SetWorkers and the BIST_WORKERS env path enforce it.
 const maxWorkers = 1024
 
 // Workers returns the pool width used by For/Map: the SetWorkers (or
