@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-hot bench-block bench-fused bench-fft obs-bench trace-smoke campaign-smoke campaign-smoke-update bistd-smoke cover fuzz-smoke golden-update
+.PHONY: all build test vet race check bench bench-hot bench-block bench-fused bench-fft obs-bench trace-smoke campaign-smoke campaign-smoke-update bistd-smoke telemetry-smoke cover fuzz-smoke golden-update
 
 # Committed coverage floor (percent of statements): `make cover` fails when
 # total coverage drops below this.
@@ -198,6 +198,31 @@ bistd-smoke:
 		| cmp - cmd/bistlab/testdata/golden/campaign_smoke.json; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "bistd smoke OK"
+
+# telemetry-smoke boots the daemon with the watchdog and the canonical
+# JSON event log, runs the committed smoke campaign over HTTP, and
+# asserts the whole telemetry surface end to end: the per-campaign SLO
+# report, the Prometheus exposition (parsed line by line, required fleet
+# families present), and the /healthz verdict. After the SIGTERM drain it
+# re-checks that every event-log line the daemon wrote is valid JSON —
+# the canonical-handler contract a log collector depends on.
+telemetry-smoke:
+	@set -e; \
+	$(GO) build -o .telemetry_smoke.bin ./cmd/bistd; \
+	rm -rf .telemetry_smoke.addr .telemetry_smoke_ckpt .telemetry_smoke.log; \
+	./.telemetry_smoke.bin -addr 127.0.0.1:0 -addr-file .telemetry_smoke.addr \
+		-checkpoint-dir .telemetry_smoke_ckpt -log-json -watchdog-interval 50ms \
+		2> .telemetry_smoke.log & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf .telemetry_smoke.bin .telemetry_smoke.addr .telemetry_smoke_ckpt .telemetry_smoke.log' EXIT; \
+	for i in $$(seq 1 100); do [ -s .telemetry_smoke.addr ] && break; sleep 0.1; done; \
+	[ -s .telemetry_smoke.addr ] || { echo "telemetry-smoke: daemon did not come up"; cat .telemetry_smoke.log; exit 1; }; \
+	addr=$$(cat .telemetry_smoke.addr); \
+	python3 scripts/telemetry_smoke.py "http://$$addr" cmd/bistlab/testdata/campaign_smoke_grid.json; \
+	kill -TERM $$pid; wait $$pid || true; \
+	python3 -c 'import json,sys; [json.loads(l) for l in open(".telemetry_smoke.log") if l.strip()]' \
+		|| { echo "telemetry-smoke: event log is not line-delimited JSON"; cat .telemetry_smoke.log; exit 1; }; \
+	echo "telemetry smoke OK"
 
 # campaign-smoke-update regenerates the CLI campaign golden after an
 # intended matrix change. Inspect the diff before committing.

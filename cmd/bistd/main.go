@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/httpx"
 	"repro/internal/obs"
+	"repro/internal/obs/eventlog"
 )
 
 func main() {
@@ -50,6 +52,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "cell worker count (0: BIST_WORKERS or GOMAXPROCS)")
 		withPprof  = flag.Bool("pprof", false, "expose /debug/pprof")
 		drainSecs  = flag.Int("drain", 30, "seconds to wait for in-flight cells on shutdown")
+		logJSON    = flag.Bool("log-json", false, "emit the event log as canonical JSON lines instead of text")
+		watchdogIv = flag.Duration("watchdog-interval", time.Second, "fleet health sampling interval (0 disables the watchdog)")
 
 		submit  = flag.String("submit", "", "client mode: grid JSON file to run against -server")
 		server  = flag.String("server", "http://127.0.0.1:8077", "client mode: bistd base URL")
@@ -63,6 +67,14 @@ func main() {
 	)
 	flag.Parse()
 	obs.Enable()
+	// Every lifecycle message goes through the structured event log; the
+	// stream lands on stderr as slog text by default, canonical JSON with
+	// -log-json (one compact object per line, fixed key order).
+	if *logJSON {
+		eventlog.Set(slog.New(eventlog.NewJSONHandler(os.Stderr)))
+	} else {
+		eventlog.Set(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
 
 	var err error
 	switch {
@@ -76,6 +88,7 @@ func main() {
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 			shard: *shardSpec, queueDepth: *queueDepth, workers: *workers,
 			withPprof: *withPprof, drain: time.Duration(*drainSecs) * time.Second,
+			watchdog: *watchdogIv,
 		})
 	}
 	if err != nil {
@@ -93,6 +106,7 @@ type serverOpts struct {
 	workers        int
 	withPprof      bool
 	drain          time.Duration
+	watchdog       time.Duration
 }
 
 // runServer stands the fleet up and blocks until SIGINT/SIGTERM, then
@@ -127,13 +141,19 @@ func runServer(o serverOpts) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "bistd: listening on %s (shard %d/%d, checkpoints %s)\n",
-		hs.Addr(), sh.Index, sh.Count, orNone(o.ckptDir))
+	if o.watchdog > 0 {
+		fs.StartWatchdog(fleet.WatchdogConfig{Interval: o.watchdog})
+	}
+	eventlog.Emit("bistd.listening",
+		slog.String("addr", hs.Addr()),
+		slog.Int("shard_index", sh.Index),
+		slog.Int("shard_count", sh.Count),
+		slog.String("checkpoints", orNone(o.ckptDir)))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "bistd: draining")
+	eventlog.Emit("bistd.draining")
 
 	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
@@ -178,7 +198,9 @@ func runClient(base, gridPath, name string, doTrace, quiet bool, timeout time.Du
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bistd: campaign %s %s\n", st.ID, st.State)
+	eventlog.Emit("bistd.campaign",
+		slog.String("campaign", st.ID),
+		slog.String("state", st.State))
 
 	final, err := followStream(ctx, base, st.ID, quiet)
 	if err != nil {

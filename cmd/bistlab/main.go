@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime/pprof"
 	rtrace "runtime/trace"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/eventlog"
 	"repro/internal/obs/provenance"
 	"repro/internal/obs/trace"
 	"repro/internal/testkit"
@@ -77,6 +79,7 @@ func run(w io.Writer, args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (offline alternative to -pprof's live endpoint)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	runtimetrace := fs.String("runtimetrace", "", "write a runtime/trace execution trace (go tool trace) to this file; scheduler-level, unlike -trace's pipeline spans")
+	logJSON := fs.Bool("log-json", false, "emit lifecycle events as canonical JSON lines on stderr instead of text")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: bistlab <fig3a|fig3b|fig5|fig6|table1|eq4|dsweep|mask|flex|ablate|noise|yield|avg|loop|resp|all> [flags]")
 		fs.PrintDefaults()
@@ -110,16 +113,26 @@ func run(w io.Writer, args []string) error {
 		obs.Reset() // per-run deltas, not process-lifetime totals
 		defer obs.Disable()
 	}
+	// Lifecycle events go to stderr, so stdout stays the byte-deterministic
+	// report stream. Installed only for this run; restored on return so the
+	// run() helper stays reentrant under test.
+	if *logJSON {
+		defer eventlog.Set(eventlog.Set(slog.New(eventlog.NewJSONHandler(os.Stderr))))
+	} else {
+		defer eventlog.Set(eventlog.Set(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
 	if *metricsAddr != "" {
 		srv, err := startMetricsServer(*metricsAddr, *pprofFlag)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		// Stderr, so stdout stays the byte-deterministic report stream.
-		fmt.Fprintf(os.Stderr, "bistlab: serving metrics on http://%s/metrics\n", srv.Addr())
+		eventlog.Emit("bistlab.metrics.serving",
+			slog.String("metrics", "http://"+srv.Addr()+"/metrics"),
+			slog.String("prom", "http://"+srv.Addr()+"/metrics.prom"))
 		if *pprofFlag {
-			fmt.Fprintf(os.Stderr, "bistlab: pprof on http://%s/debug/pprof/\n", srv.Addr())
+			eventlog.Emit("bistlab.pprof.serving",
+				slog.String("pprof", "http://"+srv.Addr()+"/debug/pprof/"))
 		}
 	}
 	// Offline profiling (file-based, vs. -pprof's live endpoint — see

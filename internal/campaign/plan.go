@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs/trace"
@@ -56,6 +57,14 @@ type Plan struct {
 	// this list, so every process that builds a Plan from the same grid
 	// sees the same partition.
 	Cells []Cell
+
+	// OnCellDone, when non-nil, observes every completed cell with its
+	// wall-clock duration. It exists for telemetry (rolling windows,
+	// yield tracking); elapsed is deliberately passed alongside the result
+	// rather than stored in it, because CellResult is golden-pinned and
+	// must never carry wall-clock fields. Called on the goroutine that ran
+	// the cell, after the aggregate is final.
+	OnCellDone func(i int, result CellResult, elapsed time.Duration)
 
 	base   core.Config
 	spread core.ProcessSpread
@@ -117,6 +126,7 @@ func (p *Plan) GridHash() (string, error) {
 // back wherever and whenever the cell runs.
 func (p *Plan) RunCell(i int, onUnit func(UnitVerdict)) (CellResult, error) {
 	job := p.Cells[i]
+	started := time.Now()
 	sp := trace.Start(trace.Root, tnCell)
 	defer sp.End()
 	cell := CellResult{
@@ -166,6 +176,11 @@ func (p *Plan) RunCell(i int, onUnit func(UnitVerdict)) (CellResult, error) {
 	}
 	cell.DetectionRate = float64(cell.Rejected) / float64(cell.Units)
 	mCells.Inc()
+	elapsed := time.Since(started)
+	mCellSeconds.Observe(elapsed.Seconds())
+	if p.OnCellDone != nil {
+		p.OnCellDone(i, cell, elapsed)
+	}
 	return cell, nil
 }
 

@@ -16,13 +16,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/obs"
+	"repro/internal/obs/eventlog"
 	"repro/internal/obs/provenance"
 	"repro/internal/obs/trace"
 	"repro/internal/par"
@@ -39,6 +42,9 @@ var (
 	mCellsRun    = obs.C("fleet.cells.run")
 	mCellsResume = obs.C("fleet.cells.resumed")
 	mCkptWrites  = obs.C("fleet.checkpoint.writes")
+	// mYieldPPM tracks the most recently active campaign's lifetime yield
+	// in parts per million (gauges are integral; ppm keeps 6 digits).
+	mYieldPPM = obs.G("fleet.yield.ppm")
 )
 
 // Spec is what a client submits: the campaign content plus service knobs.
@@ -156,6 +162,9 @@ type Campaign struct {
 	matrix        []byte // canonical DetectionMatrix once done
 	metricsSnap   []byte // obs snapshot taken when the campaign ended
 	traceRec      *trace.Recording
+
+	tel     *telemetry       // rolling-window SLO view, fed by OnCellDone
+	telSnap *TelemetryReport // frozen at campaign end
 }
 
 // Status is the public view of a campaign, also embedded in stream
@@ -229,6 +238,15 @@ type Server struct {
 	// ckptMu serializes checkpoint writes: two workers finishing cells at
 	// the same moment must not interleave on the shared temp file.
 	ckptMu sync.Mutex
+
+	// Health sampling state. draining flips the moment Shutdown begins so
+	// /healthz turns away traffic before the drain completes; running and
+	// lastCkptNanos are the watchdog's progress signals; watchdog is the
+	// sampler itself, when one was started.
+	draining      atomic.Bool
+	running       atomic.Pointer[Campaign]
+	lastCkptNanos atomic.Int64
+	watchdog      atomic.Pointer[Watchdog]
 }
 
 // NewServer validates cfg, creates the checkpoint directory if requested,
@@ -292,7 +310,9 @@ func (s *Server) Submit(spec Spec) (*Campaign, bool, error) {
 		events:   newEventLog(),
 		state:    StateQueued,
 		done:     map[string]campaign.CellResult{},
+		tel:      newTelemetry(),
 	}
+	p.OnCellDone = c.noteTelemetry
 	name := spec.Name
 	if name == "" {
 		name = "campaign-" + id
@@ -324,11 +344,33 @@ func (s *Server) Submit(spec Spec) (*Campaign, bool, error) {
 		delete(s.camps, id)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
+		if eventlog.On() {
+			eventlog.Emit("fleet.admit.reject",
+				slog.String("campaign", id),
+				slog.String("name", spec.Name),
+				slog.String("reason", "queue_full"))
+		}
 		return nil, false, errQueueFull
 	}
 	mSubmitted.Inc()
+	if eventlog.On() {
+		eventlog.Emit("fleet.admit",
+			slog.String("campaign", c.ID),
+			slog.String("name", spec.Name),
+			slog.Int("shard_index", c.Shard.Index),
+			slog.Int("shard_count", c.Shard.Count),
+			slog.Int("cells", len(c.shardIDs)),
+			slog.Int("resumed", c.resumedCount()))
+	}
 	c.emitState()
 	return c, true, nil
+}
+
+// resumedCount reads the checkpoint-resumed cell count.
+func (c *Campaign) resumedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumed
 }
 
 // errQueueFull is surfaced as 503: the admission queue is a fixed-size
@@ -363,6 +405,12 @@ func (s *Server) Statuses() []Status {
 // campaigns are marked interrupted, and the executor exits. The context
 // bounds how long to wait for in-flight work.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Flip /healthz to draining before anything else: a load balancer must
+	// stop sending campaigns here while in-flight cells finish.
+	s.draining.Store(true)
+	if w := s.watchdog.Swap(nil); w != nil {
+		w.Close()
+	}
 	s.cancel()
 	execDone := make(chan struct{})
 	go func() {
@@ -404,6 +452,11 @@ func (s *Server) executor() {
 // runCampaign executes one campaign's shard partition cell by cell across
 // the worker queue, checkpointing as results land.
 func (s *Server) runCampaign(c *Campaign) {
+	s.running.Store(c)
+	defer s.running.Store(nil)
+	// Baseline the checkpoint-age clock at campaign start so the watchdog
+	// measures "since last write or start", not "since process boot".
+	s.lastCkptNanos.Store(time.Now().UnixNano())
 	c.setState(StateRunning, "")
 	c.emitState()
 
@@ -490,6 +543,7 @@ func (s *Server) runCampaign(c *Campaign) {
 		c.setState(StateFailed, "fleet: campaign ended with missing cells")
 		mFailed.Inc()
 	}
+	c.freezeTelemetry()
 	c.emitState()
 	c.events.close()
 }
@@ -499,6 +553,7 @@ func (s *Server) finishInterrupted(c *Campaign) {
 	s.writeCheckpoint(c)
 	c.setState(StateInterrupted, "")
 	mInterrupted.Inc()
+	c.freezeTelemetry()
 	c.emitState()
 	c.events.close()
 }
@@ -622,6 +677,16 @@ func (s *Server) writeCheckpoint(c *Campaign) {
 		return
 	}
 	mCkptWrites.Inc()
+	s.lastCkptNanos.Store(time.Now().UnixNano())
+	if eventlog.On() {
+		c.mu.Lock()
+		cells := len(c.done)
+		c.mu.Unlock()
+		eventlog.Emit("fleet.checkpoint.write",
+			slog.String("campaign", c.ID),
+			slog.Int("shard_index", c.Shard.Index),
+			slog.Int("cells", cells))
+	}
 }
 
 // loadCheckpoint seeds a freshly admitted campaign from its checkpoint
@@ -706,7 +771,22 @@ func (c *Campaign) emit(v any) {
 }
 
 func (c *Campaign) emitState() {
-	c.emit(stateEvent{Type: "state", Status: c.status()})
+	st := c.status()
+	if eventlog.On() {
+		attrs := []slog.Attr{
+			slog.String("campaign", c.ID),
+			slog.String("state", st.State),
+			slog.Int("shard_index", st.ShardIndex),
+			slog.Int("shard_count", st.ShardCount),
+			slog.Int("cells_done", st.CellsDone),
+			slog.Int("cells_total", st.CellsTotal),
+		}
+		if st.Error != "" {
+			attrs = append(attrs, slog.String("error", st.Error))
+		}
+		eventlog.Emit("fleet.state", attrs...)
+	}
+	c.emit(stateEvent{Type: "state", Status: st})
 }
 
 // WaitState blocks until the campaign reaches a terminal state or the

@@ -28,7 +28,10 @@ import (
 //	GET  /campaigns/{id}/manifest  provenance manifest
 //	GET  /campaigns/{id}/trace     Perfetto/Chrome trace (404 unless the
 //	                               spec asked for one and the campaign ended)
-//	GET  /healthz                  liveness
+//	GET  /campaigns/{id}/telemetry rolling-window SLO view (live while the
+//	                               campaign runs, frozen at its end)
+//	GET  /healthz                  readiness: ok/degraded 200, stalled or
+//	                               draining 503, JSON body with causes
 func (s *Server) Handler(withPprof bool) http.Handler {
 	mux := httpx.ObsMux(withPprof)
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
@@ -39,10 +42,21 @@ func (s *Server) Handler(withPprof bool) http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}/checkpoint", s.withCampaign(s.handleCheckpoint))
 	mux.HandleFunc("GET /campaigns/{id}/manifest", s.withCampaign(s.handleManifest))
 	mux.HandleFunc("GET /campaigns/{id}/trace", s.withCampaign(s.handleTrace))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /campaigns/{id}/telemetry", s.withCampaign(s.handleTelemetry))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz serves the readiness report: ok and degraded are 200 (the
+// fleet still takes work), stalled and draining are 503 (route campaigns
+// elsewhere). The body is the machine-readable Health struct either way.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h.State == HealthStalled || h.State == HealthDraining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // maxSpecBytes bounds a submission body; a campaign spec is small, and an

@@ -85,6 +85,7 @@ func ObsMux(withPprof bool) *http.ServeMux {
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", MetricsHandler)
+	mux.HandleFunc("/metrics.prom", PromHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -106,4 +107,12 @@ func MetricsHandler(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b)
+}
+
+// PromHandler serves the default obs registry in Prometheus text
+// exposition format (0.0.4) so a stock Prometheus scrape_config can point
+// at any bist service without an exporter sidecar.
+func PromHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w) //nolint:errcheck // client gone mid-scrape; nothing to do
 }

@@ -6,10 +6,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/testkit"
 )
 
 func get(t *testing.T, url string) (int, []byte) {
@@ -54,6 +56,74 @@ func TestObsMuxServesMetrics(t *testing.T) {
 	}
 	if code, _ := get(t, "http://"+srv.Addr()+"/debug/pprof/"); code == http.StatusOK {
 		t.Error("pprof served without being requested")
+	}
+}
+
+// TestObsMuxRouteComposition pins the full observability surface on one
+// mux: JSON snapshot, Prometheus exposition, expvar, and (when requested)
+// pprof all coexist, and the Prometheus output parses as valid text
+// format with the expected families.
+func TestObsMuxRouteComposition(t *testing.T) {
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	defer obs.Reset()
+	obs.Reset()
+	obs.C("httpx.route.cells").Add(3)
+	obs.G("httpx.route.depth").Set(5)
+	obs.H("httpx.route.lat", []float64{1, 2}).Observe(1.5)
+
+	srv, err := Serve("127.0.0.1:0", ObsMux(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// /metrics: canonical JSON snapshot.
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !json.Valid(body) {
+		t.Errorf("/metrics: status %d, valid JSON %v", code, json.Valid(body))
+	}
+
+	// /metrics.prom: valid Prometheus text with the registered families.
+	resp, err := http.Get(base + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics.prom status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics.prom Content-Type = %q", ct)
+	}
+	fams, err := testkit.ScanProm(string(promBody))
+	if err != nil {
+		t.Fatalf("/metrics.prom does not scan: %v\n%s", err, promBody)
+	}
+	names := testkit.PromFamilyNames(fams)
+	for _, want := range []string{"bist_httpx_route_cells", "bist_httpx_route_depth", "bist_httpx_route_lat"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %s missing from exposition: %v", want, names)
+		}
+	}
+
+	// /debug/vars: expvar view including the published bist var.
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(string(body), `"bist"`) {
+		t.Errorf("/debug/vars: status %d, has bist var %v", code, strings.Contains(string(body), `"bist"`))
+	}
+
+	// pprof was requested on this mux, so it serves.
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d with pprof enabled", code)
 	}
 }
 

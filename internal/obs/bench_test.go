@@ -40,6 +40,30 @@ func BenchmarkObsDisabledSpan(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowDisabled holds the rolling-window histogram to the same
+// contract: disabled, Observe is one atomic load and must stay 0 allocs.
+func BenchmarkWindowDisabled(b *testing.B) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	w := NewWindow(LatencyBuckets, 1e9, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(1e-4)
+	}
+}
+
+func BenchmarkWindowEnabled(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	w := NewWindow(LatencyBuckets, 1e9, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(1e-4)
+	}
+}
+
 func BenchmarkObsEnabledCounter(b *testing.B) {
 	prev := SetEnabled(true)
 	defer SetEnabled(prev)

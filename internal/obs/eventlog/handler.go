@@ -1,0 +1,158 @@
+package eventlog
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// JSONHandler is the canonical-JSON slog handler: one compact object per
+// line with a fixed key order — "ts" (RFC3339Nano UTC), "level" (only
+// when not INFO), "event" (the record message), then attributes in
+// emission order, With-attrs before per-call attrs, groups flattened into
+// dotted keys ("grp.key"). Everything but "ts" and wall-clock attribute
+// values is deterministic for a deterministic workload, which is what
+// lets a log post-processor strip timestamps and diff two runs.
+//
+// The handler is not the testkit canonical encoder (a log line is a
+// stream record, not a golden artifact): keys keep emission order rather
+// than sorting, and duplicate keys are the caller's responsibility.
+type JSONHandler struct {
+	mu  *sync.Mutex
+	w   io.Writer
+	pre []byte // pre-rendered With-attrs (",\"k\":v" fragments)
+	grp string // dotted group prefix for subsequent attrs
+}
+
+// NewJSONHandler returns a canonical-JSON handler writing one line per
+// event to w.
+func NewJSONHandler(w io.Writer) *JSONHandler {
+	return &JSONHandler{mu: &sync.Mutex{}, w: w}
+}
+
+// Enabled implements slog.Handler; the eventlog gate (Set/On) is the real
+// switch, so every level that reaches the handler is accepted.
+func (h *JSONHandler) Enabled(_ context.Context, _ slog.Level) bool { return true }
+
+// clone shares the mutex and writer; pre/grp copy-on-write.
+func (h *JSONHandler) clone() *JSONHandler {
+	return &JSONHandler{mu: h.mu, w: h.w, pre: h.pre, grp: h.grp}
+}
+
+// WithAttrs pre-renders the attrs under the current group prefix.
+func (h *JSONHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	c := h.clone()
+	buf := make([]byte, 0, 64)
+	buf = append(buf, c.pre...)
+	for _, a := range attrs {
+		buf = appendAttr(buf, c.grp, a)
+	}
+	c.pre = buf
+	return c
+}
+
+// WithGroup extends the dotted prefix.
+func (h *JSONHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	c := h.clone()
+	c.grp = c.grp + name + "."
+	return c
+}
+
+// Handle renders the record as one line. The write (one Write call) is
+// serialized by the shared mutex so concurrent emitters never interleave
+// mid-line.
+func (h *JSONHandler) Handle(_ context.Context, r slog.Record) error {
+	buf := make([]byte, 0, 160)
+	buf = append(buf, `{"ts":"`...)
+	buf = r.Time.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, '"')
+	if r.Level != slog.LevelInfo {
+		buf = append(buf, `,"level":`...)
+		buf = appendJSONString(buf, r.Level.String())
+	}
+	buf = append(buf, `,"event":`...)
+	buf = appendJSONString(buf, r.Message)
+	buf = append(buf, h.pre...)
+	r.Attrs(func(a slog.Attr) bool {
+		buf = appendAttr(buf, h.grp, a)
+		return true
+	})
+	buf = append(buf, '}', '\n')
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.w.Write(buf)
+	return err
+}
+
+// appendAttr renders one attribute (recursing into groups) as
+// `,"prefixkey":value` fragments.
+func appendAttr(buf []byte, prefix string, a slog.Attr) []byte {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		sub := prefix
+		if a.Key != "" {
+			sub = prefix + a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			buf = appendAttr(buf, sub, ga)
+		}
+		return buf
+	}
+	if a.Key == "" {
+		return buf
+	}
+	buf = append(buf, ',')
+	buf = appendJSONString(buf, prefix+a.Key)
+	buf = append(buf, ':')
+	switch v.Kind() {
+	case slog.KindString:
+		buf = appendJSONString(buf, v.String())
+	case slog.KindInt64:
+		buf = strconv.AppendInt(buf, v.Int64(), 10)
+	case slog.KindUint64:
+		buf = strconv.AppendUint(buf, v.Uint64(), 10)
+	case slog.KindBool:
+		buf = strconv.AppendBool(buf, v.Bool())
+	case slog.KindFloat64:
+		f := v.Float64()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			// JSON has no non-finite numbers; keep the line parseable.
+			buf = appendJSONString(buf, strconv.FormatFloat(f, 'g', -1, 64))
+		} else {
+			buf = strconv.AppendFloat(buf, f, 'g', -1, 64)
+		}
+	case slog.KindDuration:
+		buf = appendJSONString(buf, v.Duration().String())
+	case slog.KindTime:
+		buf = append(buf, '"')
+		buf = v.Time().UTC().AppendFormat(buf, time.RFC3339Nano)
+		buf = append(buf, '"')
+	default:
+		if b, err := json.Marshal(v.Any()); err == nil {
+			buf = append(buf, b...)
+		} else {
+			buf = appendJSONString(buf, v.String())
+		}
+	}
+	return buf
+}
+
+// appendJSONString appends s as a JSON string. encoding/json does the
+// escaping; event names and attr keys are plain ASCII so the fast path is
+// the common one.
+func appendJSONString(buf []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return append(buf, `""`...)
+	}
+	return append(buf, b...)
+}

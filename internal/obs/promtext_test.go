@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"par.queue.depth":       "bist_par_queue_depth",
+		"dsp.plan.hits.4096":    "bist_dsp_plan_hits_4096",
+		"weird-name/with=chars": "bist_weird_name_with_chars",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromExposition(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	r.Counter("t.cells").Add(7)
+	r.Gauge("t.depth").Set(3)
+	h := r.Histogram("t.lat", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	fams, err := testkit.ScanProm(text)
+	if err != nil {
+		t.Fatalf("exposition does not scan: %v\n%s", err, text)
+	}
+	byName := map[string]testkit.PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	c, ok := byName["bist_t_cells"]
+	if !ok || c.Type != "counter" || len(c.Samples) != 1 || c.Samples[0].Value != 7 {
+		t.Errorf("counter family = %+v", c)
+	}
+	g := byName["bist_t_depth"]
+	if g.Type != "gauge" || len(g.Samples) != 1 || g.Samples[0].Value != 3 {
+		t.Errorf("gauge family = %+v", g)
+	}
+	if gm := byName["bist_t_depth_max"]; gm.Type != "gauge" || gm.Samples[0].Value != 3 {
+		t.Errorf("gauge max family = %+v", gm)
+	}
+	hf := byName["bist_t_lat"]
+	if hf.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", hf)
+	}
+	// Cumulative buckets: 1, 2, 2, then +Inf = 3; count 3.
+	wantBuckets := map[string]float64{"1": 1, "2": 2, "4": 2, "+Inf": 3}
+	for _, s := range hf.Samples {
+		if s.Name == "bist_t_lat_bucket" {
+			if want, ok := wantBuckets[s.Labels["le"]]; !ok || s.Value != want {
+				t.Errorf("bucket le=%s = %v, want %v", s.Labels["le"], s.Value, want)
+			}
+		}
+		if s.Name == "bist_t_lat_count" && s.Value != 3 {
+			t.Errorf("count = %v, want 3", s.Value)
+		}
+	}
+
+	// Output is name-sorted and stable: two renders are byte-identical.
+	var sb2 strings.Builder
+	if err := r.WriteProm(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != text {
+		t.Error("two renders of identical state differ")
+	}
+	idx := func(s string) int { return strings.Index(text, "# TYPE "+s+" ") }
+	if !(idx("bist_t_cells") < idx("bist_t_depth") && idx("bist_t_depth") < idx("bist_t_lat")) {
+		t.Error("families are not name-sorted")
+	}
+}
+
+func TestNormalizedTelemetry(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	r := NewRegistry()
+	r.Counter("fleet.cells.run").Add(4)
+	r.Counter("event.fleet.state").Add(3)
+	r.Counter("event.watchdog.state").Add(2) // ticker-driven: stripped
+	r.Counter("event.fleet.never")           // zero count: omitted
+	r.Counter("other.noise").Inc()           // outside prefixes
+	r.Gauge("par.queue.depth").Set(9)        // value dropped, name kept
+	// Histogram: bounds kept, fills dropped.
+	r.Histogram("fleet.lat", []float64{1, 2}).Observe(1.5)
+
+	nt := r.Normalized("fleet.", "par.queue.")
+	if nt.Events["fleet.state"] != 3 {
+		t.Errorf("Events = %v, want fleet.state:3", nt.Events)
+	}
+	if _, ok := nt.Events["watchdog.state"]; ok {
+		t.Error("watchdog event leaked into normalized snapshot")
+	}
+	if _, ok := nt.Events["fleet.never"]; ok {
+		t.Error("zero-count event leaked into normalized snapshot")
+	}
+	if len(nt.Counters) != 1 || nt.Counters[0] != "fleet.cells.run" {
+		t.Errorf("Counters = %v", nt.Counters)
+	}
+	if len(nt.Gauges) != 1 || nt.Gauges[0] != "par.queue.depth" {
+		t.Errorf("Gauges = %v", nt.Gauges)
+	}
+	b, ok := nt.Histograms["fleet.lat"]
+	if !ok || len(b) != 2 || b[0] != 1 || b[1] != 2 {
+		t.Errorf("Histograms = %v", nt.Histograms)
+	}
+
+	// Canonical form is byte-stable.
+	b1, err := testkit.MarshalCanonical(nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := testkit.MarshalCanonical(r.Normalized("fleet.", "par.queue."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("normalized snapshots of identical state differ")
+	}
+}

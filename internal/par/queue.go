@@ -2,10 +2,13 @@ package par
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/eventlog"
 )
 
 // Queue instruments: submitted/completed volume plus the two gauges a
@@ -34,6 +37,11 @@ type Queue struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// active/done are queue-local (not obs-gated) so health sampling —
+	// the fleet watchdog — sees the truth even when metrics are disabled.
+	active atomic.Int64
+	done   atomic.Int64
 
 	// OnPanic, when non-nil, observes recovered job panics. Set it before
 	// the first Submit; it runs on the worker goroutine.
@@ -67,7 +75,10 @@ func (q *Queue) worker() {
 	for job := range q.ch {
 		mQueueDepth.Add(-1)
 		mQueueActive.Add(1)
+		q.active.Add(1)
 		q.runJob(job)
+		q.active.Add(-1)
+		q.done.Add(1)
 		mQueueActive.Add(-1)
 		mQueueDone.Inc()
 	}
@@ -79,7 +90,9 @@ func (q *Queue) runJob(job func()) {
 		if r := recover(); r != nil {
 			if q.OnPanic != nil {
 				q.OnPanic(r)
-			} else {
+			} else if !eventlog.Emit("par.queue.panic", slog.String("panic", fmt.Sprint(r))) {
+				// No event log installed: the report must still reach a
+				// human, so fall back to raw stderr.
 				fmt.Fprintf(os.Stderr, "par: queue job panic (dropped): %v\n", r)
 			}
 		}
@@ -93,6 +106,17 @@ func (q *Queue) Workers() int { return q.workers }
 // Depth returns the number of jobs currently buffered (not yet picked up
 // by a worker).
 func (q *Queue) Depth() int { return len(q.ch) }
+
+// Cap returns the buffer capacity: Depth() == Cap() means Submit blocks.
+func (q *Queue) Cap() int { return cap(q.ch) }
+
+// Active returns the number of jobs currently executing on workers.
+func (q *Queue) Active() int64 { return q.active.Load() }
+
+// Done returns the total number of jobs completed (including panicked
+// ones) since the queue started. Monotonic — a watchdog compares two
+// readings to decide whether the pool is making progress.
+func (q *Queue) Done() int64 { return q.done.Load() }
 
 // Submit enqueues a job, blocking while the buffer is full. It returns
 // false (dropping the job) once Close has been called.

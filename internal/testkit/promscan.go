@@ -1,0 +1,190 @@
+package testkit
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Minimal Prometheus text-format (0.0.4) scanner for tests: enough
+// structure checking to catch a malformed exposition — names, TYPE
+// discipline, sample syntax, cumulative histogram buckets — without
+// pulling a client library into the module. This is a test utility, not a
+// full parser: exotic escapes and exemplars are out of scope.
+
+// PromFamily is one scanned metric family: its TYPE line plus every
+// sample that belongs to it (histogram _bucket/_sum/_count samples are
+// attributed to the base family).
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// PromSample is one sample line.
+type PromSample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels map[string]string
+	Value  float64
+}
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)$`)
+	promLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// ScanProm parses a Prometheus text exposition and validates its
+// structure: every sample must follow a TYPE line for its family, names
+// must be legal, histogram buckets must be cumulative and end at
+// le="+Inf" with a _count equal to the +Inf bucket. Families are returned
+// sorted by name.
+func ScanProm(text string) ([]PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	var order []string
+	base := func(sample string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(sample, suf); ok {
+				if f, exists := fams[b]; exists && f.Type == "histogram" {
+					return b
+				}
+			}
+		}
+		return sample
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !promNameRe.MatchString(name) {
+				return nil, fmt.Errorf("prom line %d: bad family name %q", lineNo, name)
+			}
+			f := fams[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				fams[name] = f
+				order = append(order, name)
+			}
+			rest := ""
+			if len(fields) == 4 {
+				rest = fields[3]
+			}
+			if fields[1] == "HELP" {
+				f.Help = rest
+			} else {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.Type = rest
+				default:
+					return nil, fmt.Errorf("prom line %d: unknown type %q for %s", lineNo, rest, name)
+				}
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("prom line %d: unparseable sample %q", lineNo, line)
+		}
+		sample := PromSample{Name: m[1], Labels: map[string]string{}}
+		if m[3] != "" {
+			for _, pair := range strings.Split(m[3], ",") {
+				pair = strings.TrimSpace(pair)
+				if pair == "" {
+					continue
+				}
+				lm := promLabelRe.FindStringSubmatch(pair)
+				if lm == nil {
+					return nil, fmt.Errorf("prom line %d: bad label %q", lineNo, pair)
+				}
+				sample.Labels[lm[1]] = lm[2]
+			}
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("prom line %d: bad value %q: %v", lineNo, m[4], err)
+		}
+		sample.Value = v
+		famName := base(m[1])
+		f := fams[famName]
+		if f == nil || f.Type == "" {
+			return nil, fmt.Errorf("prom line %d: sample %s before its TYPE line", lineNo, m[1])
+		}
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]PromFamily, 0, len(order))
+	for _, name := range order {
+		out = append(out, *fams[name])
+	}
+	return out, nil
+}
+
+// checkHistogram enforces the cumulative-bucket contract.
+func checkHistogram(f *PromFamily) error {
+	var prev float64
+	var inf, count float64
+	sawInf, sawCount := false, false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("prom: %s bucket without le label", f.Name)
+			}
+			if s.Value < prev {
+				return fmt.Errorf("prom: %s buckets not cumulative at le=%s", f.Name, le)
+			}
+			prev = s.Value
+			if le == "+Inf" {
+				inf, sawInf = s.Value, true
+			}
+		case f.Name + "_count":
+			count, sawCount = s.Value, true
+		}
+	}
+	if !sawInf {
+		return fmt.Errorf("prom: %s has no le=\"+Inf\" bucket", f.Name)
+	}
+	if sawCount && count != inf {
+		return fmt.Errorf("prom: %s _count %g != +Inf bucket %g", f.Name, count, inf)
+	}
+	return nil
+}
+
+// PromFamilyNames returns the sorted family names of a scanned exposition
+// — the one-liner smoke assertions use it.
+func PromFamilyNames(fams []PromFamily) []string {
+	names := make([]string, 0, len(fams))
+	for _, f := range fams {
+		names = append(names, f.Name)
+	}
+	return names
+}

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Drive the telemetry surface of a running bistd.
+
+Usage: telemetry_smoke.py BASE_URL GRID_JSON
+
+Submits the grid (wrapped in the fleet Spec envelope), waits for the
+campaign to finish, then asserts the whole observability surface at once:
+
+  - /campaigns/{id}/telemetry is well-formed JSON, frozen at the full
+    cell count, with a yield inside [0, 1e6] ppm and the 60 s window;
+  - /metrics.prom parses as Prometheus text format 0.0.4 and carries the
+    fleet families the dashboards key on;
+  - /healthz answers 200 with a machine-readable ok/degraded verdict.
+
+Exits non-zero with a one-line reason on the first violated contract.
+stdlib only — the smoke must not drag dependencies into CI.
+"""
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+REQUIRED_PROM_FAMILIES = (
+    "bist_par_queue_depth",
+    "bist_campaign_cell_seconds_bucket",
+    "bist_fleet_yield_ppm",
+)
+
+
+def die(msg):
+    print("telemetry-smoke: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers, resp.read()
+
+
+def main():
+    if len(sys.argv) != 3:
+        die("usage: telemetry_smoke.py BASE_URL GRID_JSON")
+    base, grid_path = sys.argv[1].rstrip("/"), sys.argv[2]
+
+    with open(grid_path, "rb") as f:
+        grid = json.load(f)
+    spec = json.dumps({"Name": "telemetry-smoke", "Grid": grid}).encode()
+    req = urllib.request.Request(
+        base + "/campaigns", data=spec,
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            st = json.load(resp)
+    except urllib.error.HTTPError as e:
+        die("submit: %s: %s" % (e, e.read().decode(errors="replace")))
+    cid = st.get("ID")
+    if not cid:
+        die("submit returned no campaign ID: %r" % st)
+
+    deadline = time.monotonic() + 120
+    while True:
+        _, _, body = get(base + "/campaigns/" + cid)
+        state = json.loads(body).get("State")
+        if state == "done":
+            break
+        if state in ("failed", "interrupted"):
+            die("campaign ended %s: %s" % (state, body.decode(errors="replace")))
+        if time.monotonic() > deadline:
+            die("campaign still %r after 120s" % state)
+        time.sleep(0.05)
+
+    # Frozen per-campaign SLO report.
+    _, _, body = get(base + "/campaigns/" + cid + "/telemetry")
+    rep = json.loads(body)
+    if rep.get("id") != cid or rep.get("state") != "done":
+        die("telemetry identity = (%r, %r), want (%r, done)"
+            % (rep.get("id"), rep.get("state"), cid))
+    cells = rep.get("cell_seconds", {}).get("count", 0)
+    if cells <= 0:
+        die("telemetry cell_seconds.count = %r, want > 0" % cells)
+    ppm = rep.get("yield_ppm", -1)
+    if not 0 <= ppm <= 1_000_000:
+        die("telemetry yield_ppm = %r, want within [0, 1e6]" % ppm)
+    if rep.get("window_seconds") != 60:
+        die("telemetry window_seconds = %r, want 60" % rep.get("window_seconds"))
+
+    # Prometheus exposition: right content type, every line well-formed,
+    # the dashboard families present.
+    _, headers, body = get(base + "/metrics.prom")
+    ctype = headers.get("Content-Type", "")
+    if "version=0.0.4" not in ctype:
+        die("/metrics.prom Content-Type = %r, want version=0.0.4" % ctype)
+    families = set()
+    for ln in body.decode().splitlines():
+        if not ln:
+            die("/metrics.prom contains a blank line")
+        if ln.startswith("# HELP ") or ln.startswith("# TYPE "):
+            continue
+        if ln.startswith("#"):
+            die("/metrics.prom unknown comment: %r" % ln)
+        name_part, _, value = ln.rpartition(" ")
+        families.add(name_part.partition("{")[0])
+        float(value)  # every sample value must parse
+    for fam in REQUIRED_PROM_FAMILIES:
+        if fam not in families:
+            die("/metrics.prom missing family %s" % fam)
+
+    # Health verdict: serving states answer 200 with a parseable state.
+    code, _, body = get(base + "/healthz")
+    health = json.loads(body)
+    if code != 200 or health.get("state") not in ("ok", "degraded"):
+        die("/healthz = %d %s, want 200 ok|degraded" % (code, body.decode()))
+
+    print("telemetry surface OK: campaign %s, %d cells, yield %d ppm, "
+          "%d prom families" % (cid, cells, ppm, len(families)))
+
+
+if __name__ == "__main__":
+    main()
